@@ -1,0 +1,7 @@
+"""Helpers shared by the benchmark modules."""
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark a heavy pipeline exactly once (no warmup rounds)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

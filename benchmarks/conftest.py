@@ -1,0 +1,22 @@
+"""Shared benchmark configuration.
+
+Experiment benches run the real experiment pipelines with the tiny
+``smoke`` profile (30 training epochs) so a full ``pytest benchmarks/
+--benchmark-only`` pass stays tractable on a laptop CPU; trained
+embeddings are cached under ``.cache/`` so re-runs are fast. Paper-scale
+regeneration goes through ``python -m repro.experiments <id> --profile
+quick`` (see EXPERIMENTS.md for recorded results).
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2024)
+
+
+@pytest.fixture(scope="session")
+def smoke_profile() -> str:
+    return "smoke"

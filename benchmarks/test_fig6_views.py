@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 6 (input-view ablation, NYC)."""
+
+from bench_utils import run_once
+
+from repro.experiments import run_experiment
+from repro.experiments.views import VIEW_VARIANTS
+
+
+def test_fig6_views(benchmark):
+    payload, table = run_once(benchmark, run_experiment, "fig6",
+                              profile="smoke")
+    print("\n" + table)
+    expected = set(VIEW_VARIANTS) | {"MVURE", "HREP"}
+    assert set(payload["results"]) == expected

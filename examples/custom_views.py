@@ -1,0 +1,67 @@
+"""Bring your own views: HAFusion as a generic multi-view fusion library.
+
+HAFusion is not tied to the paper's three views (Sec. IV-A: "a generic
+framework to learn region embeddings with multiple (not necessarily our
+three) input features"). This example fabricates a fourth view — a
+"noise complaints by hour-of-day" profile — adds it to the standard
+three, and shows the model trains end-to-end and reports the learned
+per-view fusion weights.
+
+Usage::
+
+    python examples/custom_views.py
+"""
+
+import numpy as np
+
+from repro.core import HAFusion, HAFusionConfig, train_model
+from repro.data import ViewSet, load_city, normalize_counts
+from repro.nn.tensor import use_dtype
+
+
+def build_noise_view(city, rng: np.random.Generator) -> np.ndarray:
+    """A synthetic 24-dim 'noise complaints per hour' profile per region.
+
+    Nightlife-heavy regions complain at night; residential ones in the
+    evening — so the view genuinely carries functional signal.
+    """
+    hours = np.arange(24)
+    night = np.exp(-0.5 * ((hours - 23.0) / 2.5) ** 2) + np.exp(-0.5 * (hours / 2.0) ** 2)
+    evening = np.exp(-0.5 * ((hours - 19.0) / 2.0) ** 2)
+    ent = city.latent.archetype_share("entertainment")[:, None]
+    res = city.latent.archetype_share("residential")[:, None]
+    intensity = 40.0 * (ent * night[None, :] + res * evening[None, :]) + 0.5
+    return rng.poisson(intensity).astype(float)
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    city = load_city("chi", seed=11)
+    base = city.views()
+
+    noise_counts = build_noise_view(city, rng)
+    views = ViewSet(
+        names=base.names + ("noise",),
+        matrices=base.matrices + [normalize_counts(noise_counts)],
+        raw=base.raw + [noise_counts],
+    )
+    print(f"views: {views.names} with dims {views.dims()}")
+
+    config = HAFusionConfig.for_city("chi", epochs=80)
+    with use_dtype(np.float32):
+        model = HAFusion(views.dims(), views.n_regions, config,
+                         mobility_view=0, rng=np.random.default_rng(11))
+        history = train_model(model, views, log_every=20)
+        embeddings = model.embed(views)
+
+    print(f"\ntrained on {model.n_views} views in {history.seconds:.1f}s; "
+          f"embeddings {embeddings.shape}")
+    weights = model.fusion.view_weights
+    if weights is not None:
+        for name, weight in zip(views.names, weights):
+            print(f"  fusion weight {name:10s} {weight:.3f}")
+    print(f"  HALearning blend beta = {model.halearning.beta:.3f}")
+
+
+if __name__ == "__main__":
+    main()

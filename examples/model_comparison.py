@@ -1,0 +1,57 @@
+"""Compare HAFusion against all four baselines on one city.
+
+A miniature of the paper's Table III: trains MVURE, MGFN, RegionDCL,
+HREP and HAFusion on the same synthetic city and reports check-in /
+crime / service-call R².
+
+Usage::
+
+    python examples/model_comparison.py [--city chi] [--epochs 120]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.baselines import make_baseline, train_baseline
+from repro.core import HAFusionConfig, train_hafusion
+from repro.data import load_city
+from repro.eval import TASKS, evaluate_embeddings, format_table
+from repro.nn.tensor import use_dtype
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--city", default="chi")
+    parser.add_argument("--epochs", type=int, default=120)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    city = load_city(args.city, seed=args.seed)
+    print(f"City {args.city}: {city.n_regions} regions, "
+          f"{int(city.mobility.total_trips):,} trips\n")
+
+    rows = []
+    with use_dtype(np.float32):
+        for name in ("mvure", "mgfn", "region_dcl", "hrep"):
+            model = make_baseline(name, city, seed=args.seed)
+            result = train_baseline(model, epochs=args.epochs)
+            embeddings = model.embed()
+            scores = [evaluate_embeddings(embeddings, city, task).r2 for task in TASKS]
+            rows.append([name, f"{result.seconds:.1f}s"] + [f"{s:.3f}" for s in scores])
+            print(f"trained {name:11s} ({result.seconds:5.1f}s)")
+
+        config = HAFusionConfig.for_city(args.city, epochs=args.epochs)
+        model, history = train_hafusion(city, config, seed=args.seed)
+        embeddings = model.embed(city.views())
+        scores = [evaluate_embeddings(embeddings, city, task).r2 for task in TASKS]
+        rows.append(["hafusion", f"{history.seconds:.1f}s"] + [f"{s:.3f}" for s in scores])
+        print(f"trained {'hafusion':11s} ({history.seconds:5.1f}s)\n")
+
+    print(format_table(["model", "train"] + [f"{t}:R2" for t in TASKS], rows,
+                       title=f"Model comparison on {args.city} "
+                             f"({args.epochs} epochs each — use more for paper-scale numbers)"))
+
+
+if __name__ == "__main__":
+    main()

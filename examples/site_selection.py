@@ -1,0 +1,81 @@
+"""Site selection: find regions most similar to a thriving restaurant's.
+
+The paper's motivating example (Sec. I): "if the manager of a well-run
+restaurant in a particular region is considering expanding to new
+locations, utilizing region embeddings can assist in identifying the
+most comparable regions for this new venture."
+
+This script (1) learns region embeddings, (2) picks the region with the
+most restaurant POIs as the flagship location, (3) ranks the other
+regions by embedding cosine similarity, and (4) sanity-checks the
+ranking against the latent ground truth (functional mixture similarity)
+that the synthetic city exposes.
+
+Usage::
+
+    python examples/site_selection.py [--city nyc] [--top 5]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import HAFusionConfig, train_hafusion
+from repro.data import POI_CATEGORIES, load_city
+from repro.nn.tensor import use_dtype
+
+
+def cosine_rank(embeddings: np.ndarray, anchor: int) -> np.ndarray:
+    """Regions sorted by cosine similarity to the anchor (self excluded)."""
+    unit = embeddings / np.maximum(np.linalg.norm(embeddings, axis=1, keepdims=True), 1e-12)
+    similarity = unit @ unit[anchor]
+    order = np.argsort(-similarity)
+    return order[order != anchor]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--city", default="chi")
+    parser.add_argument("--top", type=int, default=5)
+    parser.add_argument("--epochs", type=int, default=120)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    city = load_city(args.city, seed=args.seed)
+    restaurant_column = POI_CATEGORIES.index("restaurant")
+    flagship = int(city.poi_counts[:, restaurant_column].argmax())
+    print(f"Flagship region: #{flagship} "
+          f"({city.poi_counts[flagship, restaurant_column]:.0f} restaurants, "
+          f"dominant function: "
+          f"{city.latent.archetypes[city.latent.functionality[flagship].argmax()]})")
+
+    config = HAFusionConfig.for_city(args.city, epochs=args.epochs)
+    with use_dtype(np.float32):
+        model, _ = train_hafusion(city, config, seed=args.seed)
+        embeddings = model.embed(city.views())
+
+    ranked = cosine_rank(embeddings, flagship)
+    print(f"\nTop {args.top} candidate regions for expansion:")
+    for rank, region in enumerate(ranked[: args.top], start=1):
+        f = city.latent.functionality[region]
+        print(f"  {rank}. region #{region:3d}  restaurants={city.poi_counts[region, restaurant_column]:4.0f}  "
+              f"dominant={city.latent.archetypes[f.argmax()]:13s}  "
+              f"inflow={city.mobility.inflow()[region]:10.0f}")
+
+    # Sanity check against latent ground truth: the embedding-recommended
+    # regions should be functionally closer to the flagship than random.
+    truth = city.latent.functionality
+    target = truth[flagship]
+    recommended = ranked[: args.top]
+    rest = ranked[args.top:]
+    sim_recommended = (truth[recommended] @ target).mean()
+    sim_rest = (truth[rest] @ target).mean()
+    print(f"\nLatent functional similarity to the flagship:")
+    print(f"  recommended regions: {sim_recommended:.4f}")
+    print(f"  all other regions:   {sim_rest:.4f}")
+    verdict = "PASS" if sim_recommended > sim_rest else "WEAK"
+    print(f"  [{verdict}] recommendations are functionally closer than average")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Pre-compute the smoke-profile experiment caches and print all tables.
+
+Runs the exact experiment invocations the benchmark suite uses, so that
+``pytest benchmarks/ --benchmark-only`` afterwards reads embeddings from
+``.cache/`` instead of retraining. The printed tables are the source for
+EXPERIMENTS.md's smoke-profile sections.
+"""
+
+import sys
+import time
+
+from repro.experiments import run_experiment
+
+RUNS = [
+    ("table3", {}),
+    ("table5", {}),
+    ("table4", {}),
+    ("table6", {}),
+    ("table7", {"layer_counts": (1, 3, 5)}),
+    ("fig6", {}),
+    ("fig8", {}),
+    ("fig9", {"dims": (36, 144)}),
+    ("fig7", {"sizes": ("nyc", "nyc_360")}),
+]
+
+
+def main() -> int:
+    for experiment_id, kwargs in RUNS:
+        start = time.perf_counter()
+        _, table = run_experiment(experiment_id, profile="smoke", **kwargs)
+        print(f"\n===== {experiment_id} ({time.perf_counter() - start:.0f}s) =====",
+              flush=True)
+        print(table, flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""``repro.baselines`` — reimplementations of the paper's competitors.
+
+Four baselines (Sec. VI-A) with faithful data diets, encoder families,
+fusion styles and objectives:
+
+- :class:`MVURE` — multi-view GAT, weighted-sum fusion (d = 96);
+- :class:`MGFN` — mobility-pattern graphs, mobility-only (d = 96);
+- :class:`RegionDCL` — building-footprint contrastive learning (d = 64);
+- :class:`HREP` — relation-aware GCN + per-task prompt learning (d = 144).
+
+:class:`DAFusionAdapter` produces the ``<model>-DAFusion`` variants of
+Table IV.
+"""
+
+from .base import FitResult, RegionEmbeddingBaseline, fit_baseline
+from .fusion_adapters import DAFusionAdapter
+from .graph import GCNLayer, GraphAttentionLayer, knn_graph, normalize_adjacency
+from .hrep import HREP, PromptedLasso
+from .mgfn import MGFN, cluster_hourly_graphs
+from .mvure import MVURE
+from .region_dcl import RegionDCL
+from .registry import BASELINES, available_baselines, make_baseline, train_baseline
+
+__all__ = [
+    "BASELINES",
+    "DAFusionAdapter",
+    "FitResult",
+    "GCNLayer",
+    "GraphAttentionLayer",
+    "HREP",
+    "MGFN",
+    "MVURE",
+    "PromptedLasso",
+    "RegionDCL",
+    "RegionEmbeddingBaseline",
+    "available_baselines",
+    "cluster_hourly_graphs",
+    "fit_baseline",
+    "knn_graph",
+    "make_baseline",
+    "normalize_adjacency",
+    "train_baseline",
+]

@@ -1,0 +1,95 @@
+"""Graph neural network layers shared by the baseline models.
+
+MVURE uses graph attention (GAT) over region-similarity graphs; HREP uses
+a relation-aware GCN over heterogeneous relation graphs. Both operate on
+dense n×n adjacency/similarity matrices (the paper's cities have at most
+1440 regions, so dense is simpler and faster than sparse here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, Parameter, Tensor, init
+from ..nn import functional as F
+
+__all__ = [
+    "knn_graph",
+    "normalize_adjacency",
+    "GraphAttentionLayer",
+    "GCNLayer",
+]
+
+
+def knn_graph(similarity: np.ndarray, k: int = 10, symmetric: bool = True) -> np.ndarray:
+    """0/1 adjacency keeping each row's top-k similarity entries.
+
+    Self-loops are always included (standard for GAT/GCN aggregation).
+    """
+    similarity = np.asarray(similarity, dtype=np.float64)
+    n = similarity.shape[0]
+    if similarity.shape != (n, n):
+        raise ValueError(f"similarity must be square, got {similarity.shape}")
+    k = min(k, n - 1)
+    masked = similarity.copy()
+    np.fill_diagonal(masked, -np.inf)
+    adjacency = np.zeros((n, n))
+    if k > 0:
+        top = np.argpartition(-masked, kth=k - 1, axis=1)[:, :k]
+        rows = np.repeat(np.arange(n), k)
+        adjacency[rows, top.ravel()] = 1.0
+    if symmetric:
+        adjacency = np.maximum(adjacency, adjacency.T)
+    np.fill_diagonal(adjacency, 1.0)
+    return adjacency
+
+
+def normalize_adjacency(adjacency: np.ndarray) -> np.ndarray:
+    """Symmetric GCN normalization D^{-1/2} (A) D^{-1/2}."""
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    degree = adjacency.sum(axis=1)
+    safe_degree = np.where(degree > 0, degree, 1.0)
+    inv_sqrt = np.where(degree > 0, safe_degree ** -0.5, 0.0)
+    return adjacency * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+class GraphAttentionLayer(Module):
+    """Single-head GAT layer (Veličković et al., 2018) with a fixed mask.
+
+    Attention coefficients e_ij = LeakyReLU(aᵀ[Wx_i ‖ Wx_j]) are computed
+    only where ``adjacency`` is non-zero, then softmax-normalized per row.
+    """
+
+    def __init__(self, in_features: int, out_features: int, adjacency: np.ndarray,
+                 negative_slope: float = 0.2, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.transform = Linear(in_features, out_features, bias=False, rng=rng)
+        self.attn_left = Parameter(init.xavier_uniform((out_features, 1), rng))
+        self.attn_right = Parameter(init.xavier_uniform((out_features, 1), rng))
+        self.negative_slope = negative_slope
+        mask = (np.asarray(adjacency) > 0).astype(np.float64)
+        # Additive -inf mask outside the graph support.
+        self._bias = np.where(mask > 0, 0.0, -1e9)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = self.transform(x)                                 # (n, d_out)
+        left = h @ self.attn_left                             # (n, 1)
+        right = h @ self.attn_right                           # (n, 1)
+        scores = (left + right.T).leaky_relu(self.negative_slope) + Tensor(self._bias)
+        weights = F.softmax(scores, axis=-1)
+        return weights @ h
+
+
+class GCNLayer(Module):
+    """GCN layer with a fixed pre-normalized propagation matrix."""
+
+    def __init__(self, in_features: int, out_features: int, adjacency: np.ndarray,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.transform = Linear(in_features, out_features, rng=rng)
+        self._propagate = normalize_adjacency(adjacency)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return Tensor(self._propagate) @ self.transform(x)

@@ -1,0 +1,148 @@
+"""HREP baseline (Zhou et al., AAAI 2023), reimplemented.
+
+HREP learns region embeddings with a *relation-aware* GCN over
+heterogeneous relation graphs — human mobility, POI similarity and
+geographic neighbourhood — then adapts the frozen embeddings to each
+downstream task with *prompt learning*: a small task-specific module
+trained per task before the regressor runs (which is why HREP's
+downstream column in Table V is orders of magnitude slower than the
+other models).
+
+Faithfulness notes:
+- same three relations; relation-specific GCN transforms summed per layer
+  (the relation-aware aggregation), 2–3 layers, d = 144;
+- same objective family (mobility KL + similarity reconstruction);
+- prompt learning is implemented as a per-task learned feature
+  recalibration (elementwise softplus gate) trained by Adam on the
+  training folds; :meth:`prompted_regressor_factory` wires it into the
+  shared CV protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.city import SyntheticCity
+from ..data.features import normalize_counts
+from ..nn import Adam, Linear, Parameter, Tensor
+from ..nn import functional as F
+from ..core.losses import feature_similarity_loss, mobility_kl_loss
+from ..eval.lasso import Lasso
+from .base import RegionEmbeddingBaseline
+from .graph import GCNLayer, knn_graph
+
+__all__ = ["HREP", "PromptedLasso"]
+
+
+class HREP(RegionEmbeddingBaseline):
+    """Heterogeneous region embedding with prompt learning."""
+
+    name = "hrep"
+    default_dim = 144
+
+    def __init__(self, city: SyntheticCity, d: int | None = None,
+                 num_layers: int = 2, k_neighbors: int = 10, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.d = d if d is not None else self.default_dim
+        mobility_feat = np.concatenate([normalize_counts(city.mobility.matrix),
+                                        normalize_counts(city.mobility.matrix.T)], axis=1)
+        poi_feat = normalize_counts(city.poi_counts)
+        self._features = np.concatenate([mobility_feat, poi_feat], axis=1)
+        self._mobility = city.mobility.matrix
+        self._poi_feat = poi_feat
+
+        flow = city.mobility.matrix + city.mobility.matrix.T
+        relations = [
+            knn_graph(np.log1p(flow), k_neighbors),                      # mobility relation
+            knn_graph(F.cosine_similarity_matrix(poi_feat), k_neighbors),  # POI relation
+            city.geometry.adjacency_matrix() + np.eye(city.n_regions),   # neighbour relation
+        ]
+        dims = [self._features.shape[1]] + [self.d] * (num_layers - 1)
+        self.layers = []
+        for layer_index in range(num_layers):
+            self.layers.append([
+                GCNLayer(dims[layer_index], self.d, rel, rng=rng) for rel in relations
+            ])
+        self._flat_layers = [g for layer in self.layers for g in layer]
+        self.source_head = Linear(self.d, self.d, rng=rng)
+        self.dest_head = Linear(self.d, self.d, rng=rng)
+
+    # ------------------------------------------------------------------
+    def view_embeddings(self) -> list[Tensor]:
+        """One embedding per relation from the last GCN layer."""
+        h = Tensor(self._features)
+        per_relation: list[Tensor] = []
+        for layer_index, relation_layers in enumerate(self.layers):
+            per_relation = [gcn(h) for gcn in relation_layers]
+            summed = per_relation[0]
+            for other in per_relation[1:]:
+                summed = summed + other
+            h = summed.relu() if layer_index < len(self.layers) - 1 else summed
+        return per_relation
+
+    def fuse(self, views: list[Tensor]) -> Tensor:
+        out = views[0]
+        for view in views[1:]:
+            out = out + view
+        return out
+
+    def loss(self) -> Tensor:
+        h = self.forward()
+        total = mobility_kl_loss(self.source_head(h), self.dest_head(h),
+                                 self._mobility, scale="mean")
+        return total + feature_similarity_loss(F.l2_normalize(h), self._poi_feat)
+
+    # ------------------------------------------------------------------
+    def prompted_regressor_factory(self, prompt_steps: int = 150,
+                                   prompt_lr: float = 0.05, seed: int = 0):
+        """Factory for the CV protocol: Lasso with per-task prompt tuning."""
+        return lambda: PromptedLasso(prompt_steps=prompt_steps,
+                                     prompt_lr=prompt_lr, seed=seed)
+
+
+class PromptedLasso:
+    """Lasso preceded by HREP-style prompt learning.
+
+    A learnable elementwise gate (softplus of a prompt vector) recalibrates
+    the frozen embedding for the task at hand; the gate is trained with
+    Adam on the training fold against a least-squares probe, then the
+    standard Lasso runs on the recalibrated features. This reproduces both
+    the accuracy benefit and the downstream-latency cost of HREP's prompt
+    stage.
+    """
+
+    def __init__(self, alpha: float = 1.0, prompt_steps: int = 150,
+                 prompt_lr: float = 0.05, seed: int = 0):
+        self.alpha = alpha
+        self.prompt_steps = prompt_steps
+        self.prompt_lr = prompt_lr
+        self.seed = seed
+        self._gate: np.ndarray | None = None
+        self._lasso: Lasso | None = None
+
+    def _fit_prompt(self, features: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        d = features.shape[1]
+        prompt = Parameter(np.zeros(d))
+        probe = Parameter(np.random.default_rng(self.seed).normal(0.0, 0.01, d))
+        y = Tensor(targets / max(targets.std(), 1e-9))
+        x = Tensor(features)
+        optimizer = Adam([prompt, probe], lr=self.prompt_lr)
+        for _ in range(self.prompt_steps):
+            optimizer.zero_grad()
+            gate = F.sigmoid(prompt) * 2.0        # gate in (0, 2), starts at 1
+            predicted = (x * gate) @ probe
+            loss = ((predicted - y) ** 2.0).mean()
+            loss.backward()
+            optimizer.step()
+        return 2.0 / (1.0 + np.exp(-prompt.data))
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "PromptedLasso":
+        self._gate = self._fit_prompt(np.asarray(features), np.asarray(targets))
+        self._lasso = Lasso(alpha=self.alpha).fit(features * self._gate, targets)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._lasso is None:
+            raise RuntimeError("predict() called before fit()")
+        return self._lasso.predict(features * self._gate)

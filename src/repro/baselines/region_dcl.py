@@ -1,0 +1,103 @@
+"""RegionDCL baseline (Li et al., KDD 2023), reimplemented.
+
+RegionDCL learns region embeddings from *building footprints only*: an
+encoder embeds each road-bounded building group, contrastive learning at
+the group level pulls together groups of the same region and pushes apart
+groups of different regions, and the region embedding is the mean of its
+group embeddings.
+
+Faithfulness notes:
+- same data diet (building-group shape descriptors — deliberately weak
+  evidence of region function, see :mod:`repro.data.buildings`), same
+  group-level InfoNCE contrastive objective with region identity as the
+  positive criterion, mean-pooled region embeddings, d = 64;
+- the footprint CNN is replaced by an MLP on shape statistics (we
+  generate descriptors, not raster images); the distance-weighted
+  negative sampling is replaced by uniform in-batch negatives.
+- its training cost scales with the number of building *groups*, not
+  regions — mirroring the paper's note that CHI (many buildings) is the
+  slowest dataset for RegionDCL in Table V.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.city import SyntheticCity
+from ..nn import MLP, Tensor
+from ..nn import functional as F
+from .base import RegionEmbeddingBaseline
+
+__all__ = ["RegionDCL"]
+
+
+class RegionDCL(RegionEmbeddingBaseline):
+    """Contrastive building-footprint model."""
+
+    name = "region_dcl"
+    default_dim = 64
+
+    #: Above this many building groups, the contrastive loss works on a
+    #: random anchor batch per step (the O(g²) similarity matrix would
+    #: not fit in memory for the 1440-region expansion otherwise).
+    MAX_CONTRASTIVE_BATCH = 1536
+
+    def __init__(self, city: SyntheticCity, d: int | None = None,
+                 temperature: float = 0.2, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.d = d if d is not None else self.default_dim
+        self.temperature = temperature
+        features, region_index = city.buildings.stacked()
+        self._group_features = features                 # (g, 8)
+        self._region_index = region_index               # (g,)
+        self._n_regions = city.n_regions
+        self._batch_rng = np.random.default_rng(seed + 1)
+        self.encoder = MLP(features.shape[1], self.d,
+                           hidden_features=2 * self.d, activation="relu", rng=rng)
+
+    # ------------------------------------------------------------------
+    def group_embeddings(self) -> Tensor:
+        return F.l2_normalize(self.encoder(Tensor(self._group_features)))
+
+    def view_embeddings(self) -> list[Tensor]:
+        """Single 'view': mean of group embeddings per region."""
+        groups = self.group_embeddings()
+        # Mean-pool groups into regions with a constant averaging matrix.
+        pool = np.zeros((self._n_regions, len(self._region_index)))
+        pool[self._region_index, np.arange(len(self._region_index))] = 1.0
+        pool /= np.maximum(pool.sum(axis=1, keepdims=True), 1.0)
+        return [Tensor(pool) @ groups]
+
+    def fuse(self, views: list[Tensor]) -> Tensor:
+        return views[0]
+
+    def loss(self) -> Tensor:
+        """Group-level InfoNCE: same-region groups are positives.
+
+        For cities with many building groups, a random anchor batch is
+        drawn per step (standard contrastive minibatching).
+        """
+        n_groups = len(self._group_features)
+        if n_groups > self.MAX_CONTRASTIVE_BATCH:
+            batch = np.sort(self._batch_rng.choice(
+                n_groups, size=self.MAX_CONTRASTIVE_BATCH, replace=False))
+            features = self._group_features[batch]
+            region_index = self._region_index[batch]
+        else:
+            features = self._group_features
+            region_index = self._region_index
+        z = F.l2_normalize(self.encoder(Tensor(features)))
+        logits = (z @ z.T) * (1.0 / self.temperature)
+        same = region_index[:, None] == region_index[None, :]
+        np.fill_diagonal(same, False)
+        positive_mask = same.astype(np.float64)
+        has_positive = positive_mask.sum(axis=1) > 0
+        # Mask the diagonal (self-similarity) out of the partition sum.
+        eye_penalty = Tensor(np.eye(len(features)) * 1e9)
+        log_probs = F.log_softmax(logits - eye_penalty, axis=1)
+        per_anchor = (log_probs * Tensor(positive_mask)).sum(axis=1)
+        counts = np.maximum(positive_mask.sum(axis=1), 1.0)
+        per_anchor = per_anchor * Tensor(1.0 / counts)
+        usable = Tensor(has_positive.astype(np.float64))
+        return -(per_anchor * usable).sum() * (1.0 / max(has_positive.sum(), 1))

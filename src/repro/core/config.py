@@ -1,0 +1,101 @@
+"""Configuration for the HAFusion model and its training loop.
+
+Defaults follow Sec. VI-A of the paper: d = 144, d' = 64 (ViewFusion
+latent), c = 32 (conv channels), dm = 72 (memory slots), 3 IntraAFL /
+3 InterAFL / 3 RegionFusion layers (NYC settings), Adam lr 5e-4, 2500
+full-batch epochs. Experiment runners shrink ``epochs`` for CPU budgets
+(recorded in EXPERIMENTS.md); the architecture is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["HAFusionConfig"]
+
+
+@dataclass(frozen=True)
+class HAFusionConfig:
+    """Hyper-parameters of HAFusion.
+
+    Architecture
+    ------------
+    d:               region embedding dimensionality (paper: 144).
+    d_prime:         ViewFusion latent dimensionality d' (paper: 64).
+    conv_channels:   channels c of IntraAFL's Conv2D module (paper: 32).
+    memory_size:     memory-unit slots dm of InterAFL (paper: 72).
+    num_heads:       attention heads in RegionSA / RegionFusion.
+    intra_layers:    IntraAFL encoder layers (paper: 3 NYC/SF, 1 CHI).
+    inter_layers:    InterAFL layers (paper: 3 NYC, 2 CHI/SF).
+    fusion_layers:   RegionFusion layers (paper: 3, Table VII).
+    dropout:         dropout rate inside encoder blocks.
+
+    Ablation switches (Table VI)
+    ----------------------------
+    fusion:          "dafusion" | "sum" (w/o-D+) | "concat" (w/o-D‖).
+    intra_attention: "region_sa" | "vanilla" (w/o-S).
+    inter_attention: "external" | "vanilla" (w/o-C).
+
+    Training
+    --------
+    lr / epochs:     Adam learning rate and full-batch epoch count.
+    mobility_loss_scale: "mean" divides the KL loss by n (keeps the three
+        view losses on comparable scales on CPU-sized runs); "sum" is the
+        paper's literal Eq. 12.
+    mobility_kl_weight: multiplier on the KL term (1.0 = the paper's
+        unweighted sum; empirically the best setting — the KL term
+        carries the mobility-hub structure check-in prediction needs).
+    grad_clip:       max global grad norm (0 disables).
+    """
+
+    d: int = 144
+    d_prime: int = 64
+    conv_channels: int = 32
+    memory_size: int = 72
+    num_heads: int = 4
+    intra_layers: int = 3
+    inter_layers: int = 3
+    fusion_layers: int = 3
+    dropout: float = 0.1
+
+    fusion: str = "dafusion"
+    intra_attention: str = "region_sa"
+    inter_attention: str = "external"
+
+    lr: float = 5e-4
+    epochs: int = 2500
+    mobility_loss_scale: str = "mean"
+    mobility_kl_weight: float = 1.0
+    grad_clip: float = 5.0
+
+    def __post_init__(self):
+        if self.d % self.num_heads != 0:
+            raise ValueError(f"d={self.d} must be divisible by num_heads={self.num_heads}")
+        if self.fusion not in ("dafusion", "sum", "concat"):
+            raise ValueError(f"unknown fusion {self.fusion!r}")
+        if self.intra_attention not in ("region_sa", "vanilla"):
+            raise ValueError(f"unknown intra_attention {self.intra_attention!r}")
+        if self.inter_attention not in ("external", "vanilla"):
+            raise ValueError(f"unknown inter_attention {self.inter_attention!r}")
+        if self.mobility_loss_scale not in ("mean", "sum"):
+            raise ValueError(f"unknown mobility_loss_scale {self.mobility_loss_scale!r}")
+        for name in ("d", "d_prime", "conv_channels", "memory_size",
+                     "intra_layers", "inter_layers", "fusion_layers", "epochs"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    def with_overrides(self, **kwargs) -> "HAFusionConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def for_city(cls, city_name: str, **overrides) -> "HAFusionConfig":
+        """Paper's per-city grid-searched layer counts (Sec. VI-A)."""
+        per_city = {
+            "nyc": dict(intra_layers=3, inter_layers=3),
+            "chi": dict(intra_layers=1, inter_layers=2),
+            "sf": dict(intra_layers=3, inter_layers=2),
+        }
+        base = per_city.get(city_name.split("_")[0], {})
+        base.update(overrides)
+        return cls(**base)

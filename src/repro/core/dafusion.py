@@ -1,0 +1,86 @@
+"""DAFusion — dual-feature attentive fusion (paper Sec. IV-B, Fig. 3).
+
+ViewFusion aggregates the view-based embeddings of the same region into
+one embedding; RegionFusion then propagates information *between regions*
+through stacked self-attention. The module is generic: it takes any list
+of (n, d) view-based embedding matrices, which is what lets it be bolted
+onto MVURE / MGFN / HREP in Table IV (see
+:mod:`repro.baselines.fusion_adapters`).
+
+Ablation variants (Table VI) replace DAFusion with an element-wise sum
+(w/o-D+) or a concat+MLP (w/o-D‖); :func:`build_fusion` selects between
+them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor
+from .region_fusion import RegionFusion
+from .view_fusion import ViewFusion
+
+__all__ = ["DAFusion", "SumFusion", "ConcatFusion", "build_fusion"]
+
+
+class DAFusion(Module):
+    """ViewFusion + RegionFusion (the paper's full fusion module)."""
+
+    def __init__(self, d_model: int, d_prime: int = 64, num_layers: int = 3,
+                 num_heads: int = 4, dropout: float = 0.1,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.view_fusion = ViewFusion(d_model, d_prime=d_prime, rng=rng)
+        self.region_fusion = RegionFusion(d_model, num_layers=num_layers,
+                                          num_heads=num_heads, dropout=dropout,
+                                          rng=rng)
+
+    def forward(self, views: list[Tensor]) -> Tensor:
+        fused = self.view_fusion(views)
+        return self.region_fusion(fused)
+
+    @property
+    def view_weights(self) -> np.ndarray | None:
+        """Softmax view weights α from the last forward pass."""
+        return self.view_fusion.last_weights
+
+
+class SumFusion(Module):
+    """HAFusion-w/o-D+: element-wise sum of the view embeddings."""
+
+    def __init__(self, d_model: int, **_ignored):
+        super().__init__()
+
+    def forward(self, views: list[Tensor]) -> Tensor:
+        out = views[0]
+        for view in views[1:]:
+            out = out + view
+        return out
+
+
+class ConcatFusion(Module):
+    """HAFusion-w/o-D‖: concatenation followed by a dimension-reducing MLP."""
+
+    def __init__(self, d_model: int, n_views: int,
+                 rng: np.random.Generator | None = None, **_ignored):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.projection = Linear(n_views * d_model, d_model, rng=rng)
+
+    def forward(self, views: list[Tensor]) -> Tensor:
+        return self.projection(Tensor.concat(views, axis=1)).relu()
+
+
+def build_fusion(kind: str, d_model: int, n_views: int, d_prime: int = 64,
+                 num_layers: int = 3, num_heads: int = 4, dropout: float = 0.1,
+                 rng: np.random.Generator | None = None) -> Module:
+    """Factory used by the model and the Table VI ablations."""
+    if kind == "dafusion":
+        return DAFusion(d_model, d_prime=d_prime, num_layers=num_layers,
+                        num_heads=num_heads, dropout=dropout, rng=rng)
+    if kind == "sum":
+        return SumFusion(d_model)
+    if kind == "concat":
+        return ConcatFusion(d_model, n_views, rng=rng)
+    raise ValueError(f"unknown fusion kind {kind!r}")

@@ -1,0 +1,73 @@
+"""HALearning — hybrid attentive feature learning (paper Sec. V).
+
+Combines one IntraAFL encoder per view with a shared InterAFL module, and
+blends the two with a learnable gate β ∈ [0, 1] (Eq. 18):
+
+    Z_j = β · Z_j^sv + (1 − β) · Z_j^cv
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Module, ModuleList, Parameter, Tensor
+from .inter_afl import InterAFL
+from .intra_afl import IntraAFL
+
+__all__ = ["HALearning"]
+
+
+class HALearning(Module):
+    """View-based embedding learner.
+
+    Parameters
+    ----------
+    view_dims:
+        Input dimensionality of each view (e.g. [n, 26, 11]).
+    n_regions, d_model:
+        Number of regions and embedding width.
+    Other arguments mirror :class:`repro.core.HAFusionConfig`.
+    """
+
+    def __init__(self, view_dims: list[int], n_regions: int, d_model: int,
+                 intra_layers: int = 3, inter_layers: int = 3,
+                 num_heads: int = 4, conv_channels: int = 32,
+                 memory_size: int = 72, dropout: float = 0.1,
+                 intra_attention: str = "region_sa",
+                 inter_attention: str = "external",
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if not view_dims:
+            raise ValueError("need at least one view")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.n_views = len(view_dims)
+        self.intra = ModuleList([
+            IntraAFL(dim, d_model, n_regions, num_layers=intra_layers,
+                     num_heads=num_heads, conv_channels=conv_channels,
+                     dropout=dropout, attention_kind=intra_attention, rng=rng)
+            for dim in view_dims
+        ])
+        self.inter = InterAFL(d_model, memory_size=memory_size,
+                              num_layers=inter_layers,
+                              attention_kind=inter_attention,
+                              num_heads=num_heads, rng=rng)
+        # β is parameterized through a sigmoid so the blend stays in [0, 1].
+        self.beta_logit = Parameter(np.zeros(1))
+
+    @property
+    def beta(self) -> float:
+        """Current value of the blending gate β."""
+        return float(1.0 / (1.0 + np.exp(-self.beta_logit.data[0])))
+
+    def forward(self, views: list[Tensor]) -> list[Tensor]:
+        if len(views) != self.n_views:
+            raise ValueError(f"model built for {self.n_views} views, got {len(views)}")
+        z_sv = [encoder(view) for encoder, view in zip(self.intra, views)]
+        z_stack = Tensor.stack(z_sv, axis=1)         # (n, v, d)
+        z_cv_stack = self.inter(z_stack)             # (n, v, d)
+        beta = self.beta_logit.sigmoid()
+        blended = []
+        for j in range(self.n_views):
+            z_cv_j = z_cv_stack[:, j, :]
+            blended.append(z_sv[j] * beta + z_cv_j * (1.0 - beta))
+        return blended

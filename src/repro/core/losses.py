@@ -1,0 +1,86 @@
+"""Training objectives of HAFusion (paper Sec. IV-C).
+
+Two loss families:
+
+- :func:`feature_similarity_loss` — Eq. 8: the dot products of
+  feature-oriented embeddings should match the cosine similarity of the
+  raw input features (used for the POI and land-use views).
+- :func:`mobility_kl_loss` — Eq. 9–12: source/destination transition
+  probabilities derived from the embeddings should match the empirical
+  taxi-flow transition probabilities under KL divergence (used for the
+  mobility view).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor
+from ..nn import functional as F
+
+__all__ = [
+    "feature_similarity_loss",
+    "mobility_transition_probabilities",
+    "mobility_kl_loss",
+]
+
+
+def feature_similarity_loss(embeddings: Tensor, feature_matrix: np.ndarray) -> Tensor:
+    """Eq. 8: mean |cos(x_i, x_k) − h_i · h_k| over all region pairs.
+
+    Parameters
+    ----------
+    embeddings:
+        (n, d) feature-oriented embedding matrix ``H_j`` (already mapped
+        through the per-view MLP).
+    feature_matrix:
+        (n, d_j) raw input features of this view; constant w.r.t. the
+        model.
+    """
+    target = Tensor(F.cosine_similarity_matrix(feature_matrix))
+    predicted = embeddings @ embeddings.T
+    return (predicted - target).abs().mean()
+
+
+def mobility_transition_probabilities(mobility: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Eq. 9: empirical source (row) and destination (column) transition
+    probabilities of the OD matrix; zero rows/columns become uniform.
+    """
+    mobility = np.asarray(mobility, dtype=np.float64)
+    if mobility.ndim != 2 or mobility.shape[0] != mobility.shape[1]:
+        raise ValueError(f"mobility matrix must be square, got {mobility.shape}")
+    n = mobility.shape[0]
+    row_sums = mobility.sum(axis=1, keepdims=True)
+    col_sums = mobility.sum(axis=0, keepdims=True)
+    p_source = np.where(row_sums > 0, mobility / np.where(row_sums == 0, 1, row_sums), 1.0 / n)
+    p_dest = np.where(col_sums > 0, mobility / np.where(col_sums == 0, 1, col_sums), 1.0 / n)
+    return p_source, p_dest
+
+
+def mobility_kl_loss(h_source: Tensor, h_dest: Tensor, mobility: np.ndarray,
+                     scale: str = "mean") -> Tensor:
+    """Eq. 10–12: cross-entropy between empirical and embedding-derived
+    transition distributions (the KL divergence up to a constant).
+
+    Parameters
+    ----------
+    h_source, h_dest:
+        (n, d) source- and destination-oriented embedding matrices
+        ``H^S``/``H^D``.
+    mobility:
+        (n, n) raw OD count matrix.
+    scale:
+        "sum" — the paper's literal double sum; "mean" — divided by n,
+        keeping this loss on the same scale as the per-pair feature
+        losses.
+    """
+    if scale not in ("mean", "sum"):
+        raise ValueError(f"unknown scale {scale!r}")
+    p_source, p_dest = mobility_transition_probabilities(mobility)
+    logits = h_source @ h_dest.T
+    log_p_source = F.log_softmax(logits, axis=1)   # Eq. 10: normalize over destinations
+    log_p_dest = F.log_softmax(logits, axis=0)     # Eq. 11: normalize over sources
+    loss = -(Tensor(p_source) * log_p_source).sum() - (Tensor(p_dest) * log_p_dest).sum()
+    if scale == "mean":
+        loss = loss * (1.0 / mobility.shape[0])
+    return loss

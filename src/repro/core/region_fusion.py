@@ -1,0 +1,35 @@
+"""RegionFusion — region-aware attentive fusion (paper Sec. IV-B, Eq. 4–7).
+
+A stack of vanilla post-norm Transformer encoder blocks applied to the
+view-fused embedding matrix Z̃, propagating information *between regions*
+so the final embeddings encode higher-order region correlations. The
+paper stacks 3 layers (Table VII).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Module, ModuleList, Tensor, TransformerEncoderBlock
+
+__all__ = ["RegionFusion"]
+
+
+class RegionFusion(Module):
+    """Stacked self-attention encoder over the fused region embeddings."""
+
+    def __init__(self, d_model: int, num_layers: int = 3, num_heads: int = 4,
+                 dropout: float = 0.1, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.blocks = ModuleList([
+            TransformerEncoderBlock(d_model, num_heads=num_heads,
+                                    dropout=dropout, rng=rng)
+            for _ in range(num_layers)
+        ])
+
+    def forward(self, z: Tensor) -> Tensor:
+        h = z
+        for block in self.blocks:
+            h = block(h)
+        return h

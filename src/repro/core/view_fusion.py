@@ -1,0 +1,53 @@
+"""ViewFusion — view-aware attentive fusion (paper Sec. IV-B, Eq. 1–3).
+
+Learns one softmax weight per view via GAT-style pairwise scoring:
+
+    a_i^{jk} = LeakyReLU( aᵀ [W_F z_i^j ‖ W_F z_i^k] )     (Eq. 1)
+    α_j      = Softmax_j( 1/n · Σ_i Σ_k a_i^{jk} )          (Eq. 2)
+    Z̃        = Σ_j α_j Z_j                                  (Eq. 3)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, Parameter, Tensor, init
+from ..nn import functional as F
+
+__all__ = ["ViewFusion"]
+
+
+class ViewFusion(Module):
+    """Fuse v view-based embedding matrices into one (n, d) matrix."""
+
+    def __init__(self, d_model: int, d_prime: int = 64,
+                 negative_slope: float = 0.2,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.transform = Linear(d_model, d_prime, bias=False, rng=rng)
+        self.attention_vector = Parameter(init.xavier_uniform((2 * d_prime, 1), rng))
+        self.negative_slope = negative_slope
+        self.last_weights: np.ndarray | None = None
+
+    def forward(self, views: list[Tensor]) -> Tensor:
+        if not views:
+            raise ValueError("ViewFusion needs at least one view")
+        if len(views) == 1:
+            self.last_weights = np.ones(1)
+            return views[0]
+        projected = [self.transform(z) for z in views]       # v × (n, d')
+        a_left = self.attention_vector[: projected[0].shape[1], 0]
+        a_right = self.attention_vector[projected[0].shape[1]:, 0]
+        # aᵀ[u ‖ w] decomposes as a_leftᵀu + a_rightᵀw, so the v² pair
+        # scores come from two (n, v) score tables — no explicit concat.
+        left_scores = Tensor.stack([p @ a_left for p in projected], axis=1)    # (n, v)
+        right_scores = Tensor.stack([p @ a_right for p in projected], axis=1)  # (n, v)
+        pair_scores = left_scores.expand_dims(2) + right_scores.expand_dims(1)  # (n, v, v)
+        pair_scores = pair_scores.leaky_relu(self.negative_slope)
+        view_scores = pair_scores.mean(axis=0).sum(axis=1)   # (v,)  Eq. 2 inner sums
+        alphas = F.softmax(view_scores, axis=0)
+        self.last_weights = alphas.data.copy()
+        stacked = Tensor.stack(views, axis=0)                # (v, n, d)
+        weighted = stacked * alphas.reshape(-1, 1, 1)
+        return weighted.sum(axis=0)                          # Eq. 3

@@ -1,0 +1,54 @@
+"""``repro.data`` — synthetic-city substrate.
+
+Stands in for the paper's NYC / Chicago / San Francisco open datasets
+(taxi trips, OSM POIs, land-use shapefiles, building footprints, crime /
+check-in / 311 records). See DESIGN.md §2 for the substitution argument.
+
+Typical usage::
+
+    from repro.data import load_city
+    city = load_city("nyc", seed=7)
+    views = city.views()          # mobility / POI / land-use matrices
+    y = city.targets.task("crime")
+"""
+
+from .buildings import BUILDING_FEATURES, BuildingData, generate_buildings
+from .city import CityConfig, SyntheticCity, generate_city
+from .datasets import CITY_PRESETS, available_cities, load_city
+from .features import ViewSet, normalize_counts
+from .geometry import RegionGeometry, generate_geometry
+from .landuse import generate_landuse_counts, landuse_loading_matrix
+from .latent import ARCHETYPES, LatentCity, generate_latent
+from .mobility import MobilityData, compatibility_matrix, generate_mobility
+from .pois import POI_CATEGORIES, generate_poi_counts, poi_affinity_matrix
+from .targets import CHECKIN_CATEGORIES, TargetData, generate_targets
+
+__all__ = [
+    "ARCHETYPES",
+    "BUILDING_FEATURES",
+    "BuildingData",
+    "CHECKIN_CATEGORIES",
+    "CITY_PRESETS",
+    "CityConfig",
+    "LatentCity",
+    "MobilityData",
+    "POI_CATEGORIES",
+    "RegionGeometry",
+    "SyntheticCity",
+    "TargetData",
+    "ViewSet",
+    "available_cities",
+    "compatibility_matrix",
+    "generate_buildings",
+    "generate_city",
+    "generate_geometry",
+    "generate_landuse_counts",
+    "generate_latent",
+    "generate_mobility",
+    "generate_poi_counts",
+    "generate_targets",
+    "landuse_loading_matrix",
+    "load_city",
+    "normalize_counts",
+    "poi_affinity_matrix",
+]

@@ -1,0 +1,99 @@
+"""Building-footprint groups (the RegionDCL baseline's input).
+
+RegionDCL (Li et al., KDD'23) learns region embeddings from OpenStreetMap
+building footprints: buildings are partitioned into road-bounded groups,
+each footprint image is encoded by a CNN, and group embeddings are
+refined contrastively.
+
+We generate, per region, a set of building *groups* each described by a
+shape-statistics feature vector (footprint area, aspect ratio, vertex
+count, height proxy, coverage ratio, ...). Crucially — mirroring the
+paper's observation that "buildings predominantly take on a rectangular
+shape, irrespective of whether they are situated in industrial or
+residential areas" — these features carry only a *weak* signal about
+region functionality (density-related components) plus substantial noise.
+That weak coupling is what makes RegionDCL underperform on check-in and
+crime prediction in Table III, and the generator preserves it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .latent import ARCHETYPES, LatentCity
+
+__all__ = ["BuildingData", "generate_buildings", "BUILDING_FEATURES"]
+
+#: Per-group footprint descriptor components.
+BUILDING_FEATURES = (
+    "mean_area", "area_std", "aspect_ratio", "vertex_count",
+    "height_proxy", "coverage_ratio", "compactness", "setback",
+)
+
+
+@dataclass
+class BuildingData:
+    """Building groups per region.
+
+    Attributes
+    ----------
+    group_features:
+        List of (g_i, 8) arrays, one per region: footprint descriptors of
+        the region's building groups.
+    region_index:
+        (total_groups,) region id of each group, concatenated in order.
+    """
+
+    group_features: list[np.ndarray]
+
+    @property
+    def n_regions(self) -> int:
+        return len(self.group_features)
+
+    def stacked(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return (all_groups, region_index) as flat arrays."""
+        features = np.concatenate(self.group_features, axis=0)
+        index = np.concatenate([
+            np.full(len(groups), i) for i, groups in enumerate(self.group_features)
+        ])
+        return features, index
+
+
+def generate_buildings(latent: LatentCity, rng: np.random.Generator,
+                       mean_groups_per_region: float = 8.0,
+                       functional_signal: float = 0.25) -> BuildingData:
+    """Sample building-group footprint descriptors for every region.
+
+    Parameters
+    ----------
+    mean_groups_per_region:
+        Poisson mean of road-bounded building groups per region.
+    functional_signal:
+        How strongly descriptors reflect the latent functionality
+        (deliberately small: footprints are weak functional evidence).
+    """
+    idx = {name: i for i, name in enumerate(ARCHETYPES)}
+    density = latent.population / latent.population.mean()
+    group_features: list[np.ndarray] = []
+    for i in range(latent.n_regions):
+        n_groups = max(1, rng.poisson(mean_groups_per_region))
+        f = latent.functionality[i]
+        # Density and a faint industrial/office signature leak into shape
+        # statistics; everything else is generic-rectangular noise.
+        base = np.array([
+            0.5 + 0.4 * f[idx["industrial"]] + 0.2 * f[idx["office"]],   # mean_area
+            0.3 + 0.2 * f[idx["industrial"]],                             # area_std
+            1.4 + 0.3 * f[idx["industrial"]],                             # aspect_ratio
+            4.5 + 1.0 * f[idx["commercial"]],                             # vertex_count
+            0.4 + 0.8 * min(density[i], 3.0) / 3.0,                       # height_proxy
+            0.3 + 0.4 * min(density[i], 3.0) / 3.0,                       # coverage_ratio
+            0.7,                                                          # compactness
+            0.2 + 0.1 * f[idx["residential"]],                            # setback
+        ])
+        noise = rng.normal(0.0, 1.0, size=(n_groups, len(BUILDING_FEATURES)))
+        groups = (functional_signal * base[None, :]
+                  + (1.0 - functional_signal) * (0.5 + 0.35 * noise))
+        group_features.append(groups)
+    return BuildingData(group_features=group_features)

@@ -1,0 +1,89 @@
+"""City presets mirroring the paper's datasets (Table II) and experiment
+variants (Figs. 7–8).
+
+========= ======== ================= ============ =====================
+Preset    #regions #landuse classes  #taxi trips  Notes
+========= ======== ================= ============ =====================
+nyc       180      11                ≈ 11.0M      noisy mobility
+chi       77       12                ≈ 3.4M
+sf        175      23                ≈ 0.36M      sparse trips
+========= ======== ================= ============ =====================
+
+Scaling variants ``nyc_360`` / ``nyc_720`` / ``nyc_1440`` reproduce the
+breadth-first expansion of NYC into Queens/Brooklyn (Fig. 7): the added
+regions are progressively sparser in features, which is why all models
+lose accuracy as n grows. Density variants ``manhattan`` (dense, the
+nyc preset's core) and ``staten_island`` (suburban, trips in the
+hundreds) reproduce Fig. 8.
+"""
+
+from __future__ import annotations
+
+from .city import CityConfig, SyntheticCity, generate_city
+
+__all__ = ["CITY_PRESETS", "available_cities", "load_city"]
+
+CITY_PRESETS: dict[str, CityConfig] = {
+    "nyc": CityConfig(
+        name="nyc", n_regions=180, landuse_categories=11,
+        total_trips=10_953_879, poi_total=24_496, mobility_noise=0.85,
+        checkin_scale=600.0, crime_scale=200.0, service_scale=2800.0,
+        service_noise=0.42,  # ~400 call categories -> hard-to-predict counts
+    ),
+    "chi": CityConfig(
+        name="chi", n_regions=77, landuse_categories=12,
+        total_trips=3_381_807, poi_total=57_891, mobility_noise=0.30,
+        checkin_scale=2200.0, crime_scale=240.0, service_scale=320.0,
+        service_noise=0.28,
+    ),
+    "sf": CityConfig(
+        name="sf", n_regions=175, landuse_categories=23,
+        total_trips=357_749, poi_total=28_578, mobility_noise=0.30,
+        checkin_scale=500.0, crime_scale=280.0, service_scale=200.0,
+        service_noise=0.28,
+    ),
+    # Fig. 7: breadth-first expansion into outer boroughs. Outer regions
+    # are sparser: trips grow sub-linearly with n while the extent grows.
+    "nyc_360": CityConfig(
+        name="nyc_360", n_regions=360, landuse_categories=11,
+        total_trips=13_000_000, poi_total=33_000, mobility_noise=0.85,
+        city_extent_km=18.0, service_noise=0.42,
+    ),
+    "nyc_720": CityConfig(
+        name="nyc_720", n_regions=720, landuse_categories=11,
+        total_trips=15_000_000, poi_total=45_000, mobility_noise=0.85,
+        city_extent_km=26.0, service_noise=0.42,
+    ),
+    "nyc_1440": CityConfig(
+        name="nyc_1440", n_regions=1440, landuse_categories=11,
+        total_trips=17_000_000, poi_total=60_000, mobility_noise=0.85,
+        city_extent_km=38.0, service_noise=0.42,
+    ),
+    # Fig. 8: density split.
+    "manhattan": CityConfig(
+        name="manhattan", n_regions=180, landuse_categories=11,
+        total_trips=10_953_879, poi_total=24_496, mobility_noise=0.85,
+        density_profile="dense", service_noise=0.42,
+    ),
+    "staten_island": CityConfig(
+        name="staten_island", n_regions=110, landuse_categories=11,
+        total_trips=900, poi_total=2_600, mobility_noise=0.85,
+        density_profile="suburban", checkin_scale=60.0, crime_scale=40.0,
+        service_scale=400.0, service_noise=0.42, city_extent_km=16.0,
+    ),
+}
+
+
+def available_cities() -> list[str]:
+    """Names accepted by :func:`load_city`."""
+    return sorted(CITY_PRESETS)
+
+
+def load_city(name: str, seed: int = 0) -> SyntheticCity:
+    """Generate a preset city deterministically from ``seed``.
+
+    Raises ``KeyError`` with the available names on a bad preset name.
+    """
+    if name not in CITY_PRESETS:
+        raise KeyError(f"unknown city {name!r}; available: {available_cities()}")
+    return generate_city(CITY_PRESETS[name], seed=seed)

@@ -1,0 +1,92 @@
+"""View feature matrices and their normalizations.
+
+The models take the raw count matrices (M, P, L) through standard
+transformations before learning:
+
+- counts are heavy-tailed → a square-root transform tames the tail while
+  preserving hub magnitudes far better than a log would (downstream
+  targets are raw counts, so hub-scale information must survive);
+- columns are then standardized (z-scored), which keeps *volume*
+  information (how big a region's counts are) as well as *shape*
+  information (how they distribute over categories/destinations) — both
+  matter for the downstream count-prediction tasks.
+
+The *loss* side of the mobility view keeps the raw M (transition
+probabilities, Eq. 9), so :class:`ViewSet` carries both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["normalize_counts", "ViewSet"]
+
+
+def normalize_counts(counts: np.ndarray) -> np.ndarray:
+    """``sqrt`` then column standardization; constant columns become 0."""
+    if counts.ndim != 2:
+        raise ValueError(f"expected a 2-D count matrix, got shape {counts.shape}")
+    if (counts < 0).any():
+        raise ValueError("count matrices must be non-negative")
+    damped = np.sqrt(counts)
+    mean = damped.mean(axis=0, keepdims=True)
+    std = damped.std(axis=0, keepdims=True)
+    std = np.where(std < 1e-12, 1.0, std)
+    return (damped - mean) / std
+
+
+@dataclass
+class ViewSet:
+    """The ordered collection of input views for one city.
+
+    Attributes
+    ----------
+    names:
+        View names, e.g. ``("mobility", "poi", "landuse")``.
+    matrices:
+        Normalized feature matrices, one (n, d_j) per view, aligned with
+        ``names``.
+    raw:
+        Raw (un-normalized) count matrices, same order; the mobility KL
+        loss consumes ``raw[0]``.
+    """
+
+    names: tuple[str, ...]
+    matrices: list[np.ndarray]
+    raw: list[np.ndarray] = field(repr=False, default=None)
+
+    def __post_init__(self):
+        if len(self.names) != len(self.matrices):
+            raise ValueError("names and matrices length mismatch")
+        n_rows = {m.shape[0] for m in self.matrices}
+        if len(n_rows) != 1:
+            raise ValueError(f"views disagree on region count: {n_rows}")
+        if self.raw is not None and len(self.raw) != len(self.matrices):
+            raise ValueError("raw and matrices length mismatch")
+
+    @property
+    def n_views(self) -> int:
+        return len(self.matrices)
+
+    @property
+    def n_regions(self) -> int:
+        return self.matrices[0].shape[0]
+
+    def dims(self) -> list[int]:
+        return [m.shape[1] for m in self.matrices]
+
+    def index(self, name: str) -> int:
+        if name not in self.names:
+            raise KeyError(f"unknown view {name!r}; have {self.names}")
+        return self.names.index(name)
+
+    def subset(self, keep: list[str]) -> "ViewSet":
+        """Return a ViewSet restricted to the named views (Fig. 6 ablation)."""
+        indices = [self.index(name) for name in keep]
+        return ViewSet(
+            names=tuple(self.names[i] for i in indices),
+            matrices=[self.matrices[i] for i in indices],
+            raw=[self.raw[i] for i in indices] if self.raw is not None else None,
+        )

@@ -1,0 +1,30 @@
+"""``repro.eval`` — downstream evaluation substrate.
+
+Implements the paper's evaluation protocol (Sec. VI-A/B): frozen region
+embeddings → Lasso(α=1) → ten-fold cross-validated MAE / RMSE / R² on
+check-in, crime and service-call count prediction.
+"""
+
+from .crossval import FoldedMetrics, KFold, cross_validated_regression
+from .lasso import Lasso
+from .metrics import mae, r2_score, regression_report, rmse
+from .reporting import format_metric_block, format_table, markdown_table
+from .tasks import TASKS, TaskResult, evaluate_all_tasks, evaluate_embeddings
+
+__all__ = [
+    "FoldedMetrics",
+    "KFold",
+    "Lasso",
+    "TASKS",
+    "TaskResult",
+    "cross_validated_regression",
+    "evaluate_all_tasks",
+    "evaluate_embeddings",
+    "format_metric_block",
+    "format_table",
+    "mae",
+    "markdown_table",
+    "r2_score",
+    "regression_report",
+    "rmse",
+]

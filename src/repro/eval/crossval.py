@@ -1,0 +1,83 @@
+"""K-fold cross-validation for the downstream regression evaluation.
+
+The paper uses ten-fold cross-validation "because the number of regions
+in each dataset is relatively small" (Sec. VI-B) and reports mean ± std
+of each metric across folds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from .lasso import Lasso
+from .metrics import regression_report
+
+__all__ = ["KFold", "FoldedMetrics", "cross_validated_regression"]
+
+
+class KFold:
+    """Shuffled k-fold splitter with deterministic seeding."""
+
+    def __init__(self, n_splits: int = 10, seed: int = 0):
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.seed = seed
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        if n_samples < self.n_splits:
+            raise ValueError(f"cannot split {n_samples} samples into {self.n_splits} folds")
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(n_samples)
+        folds = np.array_split(order, self.n_splits)
+        for held_out in range(self.n_splits):
+            test_index = folds[held_out]
+            train_index = np.concatenate(
+                [folds[i] for i in range(self.n_splits) if i != held_out])
+            yield train_index, test_index
+
+
+@dataclass
+class FoldedMetrics:
+    """Mean ± std of each metric over CV folds."""
+
+    mean: dict[str, float]
+    std: dict[str, float]
+    per_fold: list[dict[str, float]]
+
+    def __getitem__(self, metric: str) -> float:
+        return self.mean[metric]
+
+    def format(self, metric: str, precision: int = 3) -> str:
+        """Paper-style "mean ± std" string."""
+        return f"{self.mean[metric]:.{precision}f} ± {self.std[metric]:.{precision}f}"
+
+
+def cross_validated_regression(
+        features: np.ndarray, targets: np.ndarray,
+        model_factory: Callable[[], object] | None = None,
+        n_splits: int = 10, seed: int = 0) -> FoldedMetrics:
+    """Evaluate embeddings on a prediction task with k-fold CV.
+
+    ``model_factory`` builds a fresh regressor per fold (default:
+    ``Lasso(alpha=1)``, matching the paper). The regressor must expose
+    ``fit(X, y)`` and ``predict(X)``.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64).ravel()
+    if len(features) != len(targets):
+        raise ValueError(f"row mismatch: {len(features)} vs {len(targets)}")
+    factory = model_factory if model_factory is not None else (lambda: Lasso(alpha=1.0))
+    reports: list[dict[str, float]] = []
+    for train_index, test_index in KFold(n_splits, seed).split(len(targets)):
+        model = factory()
+        model.fit(features[train_index], targets[train_index])
+        predictions = model.predict(features[test_index])
+        reports.append(regression_report(targets[test_index], predictions))
+    keys = reports[0].keys()
+    mean = {k: float(np.mean([r[k] for r in reports])) for k in keys}
+    std = {k: float(np.std([r[k] for r in reports])) for k in keys}
+    return FoldedMetrics(mean=mean, std=std, per_fold=reports)

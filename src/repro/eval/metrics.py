@@ -1,0 +1,50 @@
+"""Regression metrics used in the paper's evaluation (Sec. VI-A):
+MAE, RMSE and the coefficient of determination R².
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mae", "rmse", "r2_score", "regression_report"]
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.float64).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("empty arrays")
+    return y_true, y_pred
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.abs(y_true - y_pred).mean())
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.sqrt(((y_true - y_pred) ** 2).mean()))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination; 1 is perfect, can be negative."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    ss_res = float(((y_true - y_pred) ** 2).sum())
+    ss_tot = float(((y_true - y_true.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 0.0 if ss_res > 0 else 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+def regression_report(y_true: np.ndarray, y_pred: np.ndarray) -> dict[str, float]:
+    """All three paper metrics in one dict."""
+    return {
+        "mae": mae(y_true, y_pred),
+        "rmse": rmse(y_true, y_pred),
+        "r2": r2_score(y_true, y_pred),
+    }

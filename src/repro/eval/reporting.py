@@ -1,0 +1,55 @@
+"""Paper-style table formatting for experiment results.
+
+The experiment runners produce nested dicts; these helpers render them as
+aligned text tables matching the layout of Tables III–VII so the bench
+output can be eyeballed against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_metric_block", "markdown_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned plain-text table."""
+    string_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in string_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a GitHub-markdown table (used by EXPERIMENTS.md tooling)."""
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def format_metric_block(results: Mapping[str, Mapping[str, object]],
+                        metrics: Sequence[str] = ("mae", "rmse", "r2"),
+                        title: str | None = None) -> str:
+    """Format {model: {metric: FoldedMetrics-or-float}} as a table."""
+    headers = ["model"] + [m.upper() for m in metrics]
+    rows = []
+    for model, per_metric in results.items():
+        row: list[object] = [model]
+        for metric in metrics:
+            value = per_metric[metric]
+            row.append(value.format(metric) if hasattr(value, "format") else f"{value:.3f}"
+                       if isinstance(value, float) else str(value))
+        rows.append(row)
+    return format_table(headers, rows, title=title)

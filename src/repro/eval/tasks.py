@@ -1,0 +1,66 @@
+"""Downstream-task evaluation: embeddings → Lasso → MAE/RMSE/R².
+
+One call reproduces one cell of the paper's Table III: frozen region
+embeddings are fed to a Lasso(α=1) regressor predicting a per-region
+count, with ten-fold cross-validation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.city import SyntheticCity
+from .crossval import FoldedMetrics, cross_validated_regression
+
+__all__ = ["TASKS", "TaskResult", "evaluate_embeddings", "evaluate_all_tasks"]
+
+#: Downstream task names, paper order (Task 1-3).
+TASKS = ("checkin", "crime", "service_call")
+
+
+@dataclass
+class TaskResult:
+    """Metrics plus downstream wall-clock for one (embedding, task) pair."""
+
+    task: str
+    metrics: FoldedMetrics
+    seconds: float
+
+    @property
+    def r2(self) -> float:
+        return self.metrics.mean["r2"]
+
+    @property
+    def mae(self) -> float:
+        return self.metrics.mean["mae"]
+
+    @property
+    def rmse(self) -> float:
+        return self.metrics.mean["rmse"]
+
+
+def evaluate_embeddings(embeddings: np.ndarray, city: SyntheticCity, task: str,
+                        n_splits: int = 10, seed: int = 0) -> TaskResult:
+    """Evaluate embeddings on one downstream task of a city."""
+    if task not in TASKS:
+        raise KeyError(f"unknown task {task!r}; choose from {TASKS}")
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    if len(embeddings) != city.n_regions:
+        raise ValueError(
+            f"embeddings have {len(embeddings)} rows but city has {city.n_regions} regions")
+    targets = city.targets.task(task)
+    start = time.perf_counter()
+    metrics = cross_validated_regression(embeddings, targets,
+                                         n_splits=n_splits, seed=seed)
+    seconds = time.perf_counter() - start
+    return TaskResult(task=task, metrics=metrics, seconds=seconds)
+
+
+def evaluate_all_tasks(embeddings: np.ndarray, city: SyntheticCity,
+                       n_splits: int = 10, seed: int = 0) -> dict[str, TaskResult]:
+    """Evaluate embeddings on all three paper tasks."""
+    return {task: evaluate_embeddings(embeddings, city, task, n_splits, seed)
+            for task in TASKS}

@@ -1,0 +1,40 @@
+"""``repro.experiments`` — one runner per paper table/figure.
+
+Usage::
+
+    python -m repro.experiments table3 --profile quick
+    python -m repro.experiments fig6 --profile smoke
+
+or programmatically::
+
+    from repro.experiments import run_experiment
+    payload, table = run_experiment("table6", profile="smoke")
+    print(table)
+"""
+
+from .common import (
+    MODEL_LABELS,
+    MODEL_ORDER,
+    PROFILES,
+    EmbeddingResult,
+    ExperimentProfile,
+    compute_embeddings,
+    evaluate_model,
+    get_profile,
+)
+from .registry import EXPERIMENTS, ExperimentSpec, available_experiments, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "ExperimentProfile",
+    "EmbeddingResult",
+    "MODEL_LABELS",
+    "MODEL_ORDER",
+    "PROFILES",
+    "available_experiments",
+    "compute_embeddings",
+    "evaluate_model",
+    "get_profile",
+    "run_experiment",
+]

@@ -1,0 +1,47 @@
+"""CLI for the experiment runners.
+
+Examples
+--------
+List experiments::
+
+    python -m repro.experiments --list
+
+Regenerate Table III with the quick profile::
+
+    python -m repro.experiments table3 --profile quick
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .common import PROFILES
+from .registry import EXPERIMENTS, available_experiments, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment", nargs="?",
+                        help=f"one of {available_experiments()}")
+    parser.add_argument("--profile", default="quick", choices=sorted(PROFILES),
+                        help="training budget tier (default: quick)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="retrain even if cached embeddings exist")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        for spec in EXPERIMENTS.values():
+            print(f"{spec.id:8s} {spec.paper_artifact:10s} {spec.description}")
+        return 0
+
+    _, table = run_experiment(args.experiment, profile=args.profile,
+                              use_cache=not args.no_cache)
+    print(table)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

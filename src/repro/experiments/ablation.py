@@ -1,0 +1,56 @@
+"""Table VI — ablation study (NYC).
+
+Variants (Sec. VI-D):
+- ``w/o-D+``  — DAFusion replaced by element-wise sum;
+- ``w/o-D‖``  — DAFusion replaced by concat + MLP;
+- ``w/o-C``   — InterAFL replaced by vanilla self-attention;
+- ``w/o-S``   — IntraAFL's RegionSA replaced by vanilla self-attention;
+- full HAFusion.
+
+Expected shape: full model best; the DAFusion ablations (w/o-D±) hurt
+more than the HALearning ablations (w/o-C / w/o-S).
+"""
+
+from __future__ import annotations
+
+from ..data import load_city
+from ..eval.reporting import format_table
+from .common import compute_embeddings, evaluate_model, get_profile
+
+__all__ = ["ABLATION_VARIANTS", "run_table6", "format_table6"]
+
+TASKS = ("checkin", "crime", "service_call")
+
+#: Variant name -> HAFusionConfig overrides.
+ABLATION_VARIANTS = {
+    "HAFusion-w/o-D+": {"fusion": "sum"},
+    "HAFusion-w/o-D||": {"fusion": "concat"},
+    "HAFusion-w/o-C": {"inter_attention": "vanilla"},
+    "HAFusion-w/o-S": {"intra_attention": "vanilla"},
+    "HAFusion": {},
+}
+
+
+def run_table6(profile: str = "quick", city_name: str = "nyc",
+               use_cache: bool = True) -> dict:
+    """Returns {variant: {task: TaskResult}}."""
+    prof = get_profile(profile)
+    city = load_city(city_name, seed=prof.seed)
+    results: dict = {}
+    for variant, overrides in ABLATION_VARIANTS.items():
+        emb = compute_embeddings("hafusion", city, profile=prof,
+                                 use_cache=use_cache,
+                                 config_overrides=dict(overrides))
+        results[variant] = {task: evaluate_model(emb, city, task, profile=prof)
+                            for task in TASKS}
+    return {"results": results, "profile": prof.name, "city": city_name}
+
+
+def format_table6(payload: dict) -> str:
+    headers = ["variant"] + [f"{task}:R2" for task in TASKS]
+    rows = []
+    for variant, per_task in payload["results"].items():
+        rows.append([variant] + [per_task[t].metrics.format("r2") for t in TASKS])
+    return format_table(headers, rows,
+                        title=f"Table VI / ablation ({payload['city']}, "
+                              f"profile={payload['profile']})")

@@ -1,0 +1,54 @@
+"""Fig. 9 — impact of the region embedding dimensionality d (NYC).
+
+All models re-trained at d ∈ {36, 72, 96, 144, 288} and evaluated on the
+three tasks. Expected shape: accuracy rises then falls (overfitting);
+HAFusion dominates across d and peaks around 144–288.
+"""
+
+from __future__ import annotations
+
+from ..data import load_city
+from ..eval.reporting import format_table
+from .common import MODEL_LABELS, MODEL_ORDER, compute_embeddings, evaluate_model, get_profile
+
+__all__ = ["run_fig9", "format_fig9", "DIMS"]
+
+TASKS = ("checkin", "crime", "service_call")
+DIMS = (36, 72, 96, 144, 288)
+
+
+def run_fig9(profile: str = "quick", city_name: str = "nyc",
+             dims: tuple[int, ...] = DIMS,
+             models: tuple[str, ...] = MODEL_ORDER,
+             use_cache: bool = True) -> dict:
+    """Returns {task: {model: {d: R²}}}."""
+    prof = get_profile(profile)
+    city = load_city(city_name, seed=prof.seed)
+    results: dict = {task: {model: {} for model in models} for task in TASKS}
+    for d in dims:
+        for model_name in models:
+            overrides = {"d": d} if model_name == "hafusion" else {"d": d}
+            emb = compute_embeddings(model_name, city, profile=prof,
+                                     use_cache=use_cache,
+                                     config_overrides=overrides)
+            for task in TASKS:
+                results[task][model_name][d] = evaluate_model(
+                    emb, city, task, profile=prof).r2
+    return {"results": results, "profile": prof.name, "city": city_name,
+            "dims": dims, "models": models}
+
+
+def format_fig9(payload: dict) -> str:
+    blocks = []
+    for task in TASKS:
+        headers = ["model"] + [f"d={d}" for d in payload["dims"]]
+        rows = []
+        for model in payload["models"]:
+            rows.append([MODEL_LABELS.get(model, model)]
+                        + [f"{payload['results'][task][model][d]:.3f}"
+                           for d in payload["dims"]])
+        blocks.append(format_table(
+            headers, rows,
+            title=f"Fig. 9 / embedding dimensionality, {task} R2 "
+                  f"({payload['city']}, profile={payload['profile']})"))
+    return "\n\n".join(blocks)

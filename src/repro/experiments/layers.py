@@ -1,0 +1,44 @@
+"""Table VII — impact of the number of RegionFusion layers (NYC).
+
+R² across 1–5 layers on all three tasks; the paper finds a peak at 3
+(deeper stacks overfit).
+"""
+
+from __future__ import annotations
+
+from ..data import load_city
+from ..eval.reporting import format_table
+from .common import compute_embeddings, evaluate_model, get_profile
+
+__all__ = ["run_table7", "format_table7"]
+
+TASKS = ("checkin", "crime", "service_call")
+LAYER_COUNTS = (1, 2, 3, 4, 5)
+
+
+def run_table7(profile: str = "quick", city_name: str = "nyc",
+               layer_counts: tuple[int, ...] = LAYER_COUNTS,
+               use_cache: bool = True) -> dict:
+    """Returns {n_layers: {task: TaskResult}}."""
+    prof = get_profile(profile)
+    city = load_city(city_name, seed=prof.seed)
+    results: dict = {}
+    for n_layers in layer_counts:
+        emb = compute_embeddings("hafusion", city, profile=prof,
+                                 use_cache=use_cache,
+                                 config_overrides={"fusion_layers": n_layers})
+        results[n_layers] = {task: evaluate_model(emb, city, task, profile=prof)
+                             for task in TASKS}
+    return {"results": results, "profile": prof.name, "city": city_name,
+            "layer_counts": layer_counts}
+
+
+def format_table7(payload: dict) -> str:
+    headers = ["task"] + [f"{k} layer(s)" for k in payload["layer_counts"]]
+    rows = []
+    for task in TASKS:
+        rows.append([task] + [f"{payload['results'][k][task].r2:.3f}"
+                              for k in payload["layer_counts"]])
+    return format_table(headers, rows,
+                        title=f"Table VII / #RegionFusion layers ({payload['city']}, "
+                              f"profile={payload['profile']})")

@@ -1,0 +1,82 @@
+"""Table III — overall prediction accuracy.
+
+3 cities × 5 models × 3 tasks, Lasso 10-fold CV, MAE / RMSE / R².
+The paper's headline: HAFusion best in every cell; multi-view models
+(MVURE/HREP) beat single-view models (MGFN/RegionDCL) on crime and
+service calls; MGFN strong on CHI/SF check-in but weak on NYC (noisy
+mobility); RegionDCL generally worst.
+"""
+
+from __future__ import annotations
+
+from ..data import load_city
+from ..eval.reporting import format_table
+from .common import MODEL_LABELS, MODEL_ORDER, compute_embeddings, evaluate_model, get_profile
+
+__all__ = ["run_table3", "format_table3"]
+
+CITIES = ("nyc", "chi", "sf")
+TASKS = ("checkin", "crime", "service_call")
+
+
+def run_table3(profile: str = "quick", cities: tuple[str, ...] = CITIES,
+               models: tuple[str, ...] = MODEL_ORDER,
+               use_cache: bool = True) -> dict:
+    """Returns {task: {city: {model: TaskResult}}} plus timing metadata."""
+    prof = get_profile(profile)
+    results: dict = {task: {city: {} for city in cities} for task in TASKS}
+    timings: dict = {city: {} for city in cities}
+    for city_name in cities:
+        city = load_city(city_name, seed=prof.seed)
+        for model_name in models:
+            emb = compute_embeddings(model_name, city, profile=prof, use_cache=use_cache)
+            timings[city_name][model_name] = emb.train_seconds
+            for task in TASKS:
+                results[task][city_name][model_name] = evaluate_model(
+                    emb, city, task, profile=prof)
+    return {"results": results, "timings": timings, "profile": prof.name,
+            "cities": cities, "models": models}
+
+
+def improvement_over_best_baseline(per_model: dict, metric: str) -> float:
+    """HAFusion's relative improvement vs the best baseline (paper's
+    'Improvement' row). For errors lower is better; for R² higher is."""
+    baselines = {m: r for m, r in per_model.items() if m != "hafusion"}
+    if "hafusion" not in per_model or not baselines:
+        return float("nan")
+    ours = getattr(per_model["hafusion"], metric)
+    if metric in ("mae", "rmse"):
+        best = min(getattr(r, metric) for r in baselines.values())
+        return (best - ours) / best * 100.0
+    best = max(getattr(r, metric) for r in baselines.values())
+    return (ours - best) / abs(best) * 100.0 if best != 0 else float("nan")
+
+
+def format_table3(payload: dict) -> str:
+    """Render the paper-style Table III."""
+    blocks = []
+    for task in TASKS:
+        headers = ["model"]
+        for city in payload["cities"]:
+            headers += [f"{city}:MAE", f"{city}:RMSE", f"{city}:R2"]
+        rows = []
+        for model in payload["models"]:
+            row = [MODEL_LABELS.get(model, model)]
+            for city in payload["cities"]:
+                r = payload["results"][task][city][model]
+                row += [f"{r.mae:.1f}", f"{r.rmse:.1f}",
+                        r.metrics.format("r2")]
+            rows.append(row)
+        improvement = ["Improvement %"]
+        for city in payload["cities"]:
+            per_model = payload["results"][task][city]
+            improvement += [
+                f"{improvement_over_best_baseline(per_model, 'mae'):.1f}",
+                f"{improvement_over_best_baseline(per_model, 'rmse'):.1f}",
+                f"{improvement_over_best_baseline(per_model, 'r2'):.1f}",
+            ]
+        rows.append(improvement)
+        blocks.append(format_table(headers, rows,
+                                   title=f"Table III / Task: {task} "
+                                         f"(profile={payload['profile']})"))
+    return "\n\n".join(blocks)

@@ -1,0 +1,60 @@
+"""Table IV — DAFusion plugged into existing models (NYC).
+
+For MGFN, MVURE and HREP: vanilla vs ``<model>-DAFusion``; the paper's
+claim is that the DAFusion variant improves every model on every task.
+"""
+
+from __future__ import annotations
+
+from ..data import load_city
+from ..eval.reporting import format_table
+from .common import MODEL_LABELS, compute_embeddings, evaluate_model, get_profile
+
+__all__ = ["run_table4", "format_table4"]
+
+PLUGIN_MODELS = ("mgfn", "mvure", "hrep")
+TASKS = ("checkin", "crime", "service_call")
+
+
+def run_table4(profile: str = "quick", city_name: str = "nyc",
+               models: tuple[str, ...] = PLUGIN_MODELS,
+               use_cache: bool = True) -> dict:
+    """Returns {model: {variant: {task: TaskResult}}}."""
+    prof = get_profile(profile)
+    city = load_city(city_name, seed=prof.seed)
+    results: dict = {}
+    for base in models:
+        results[base] = {}
+        for variant in (base, f"{base}-dafusion"):
+            emb = compute_embeddings(variant, city, profile=prof, use_cache=use_cache)
+            results[base][variant] = {
+                task: evaluate_model(emb, city, task, profile=prof)
+                for task in TASKS
+            }
+    return {"results": results, "profile": prof.name, "city": city_name,
+            "models": models}
+
+
+def format_table4(payload: dict) -> str:
+    headers = ["model"]
+    for task in TASKS:
+        headers += [f"{task}:MAE", f"{task}:RMSE", f"{task}:R2"]
+    rows = []
+    for base, variants in payload["results"].items():
+        for variant, per_task in variants.items():
+            row = [MODEL_LABELS.get(variant, variant)]
+            for task in TASKS:
+                r = per_task[task]
+                row += [f"{r.mae:.1f}", f"{r.rmse:.1f}", f"{r.r2:.3f}"]
+            rows.append(row)
+        vanilla, plugged = variants[base], variants[f"{base}-dafusion"]
+        gains = ["  improvement %"]
+        for task in TASKS:
+            v, p = vanilla[task], plugged[task]
+            gains += [f"{(v.mae - p.mae) / v.mae * 100:.1f}",
+                      f"{(v.rmse - p.rmse) / v.rmse * 100:.1f}",
+                      f"{(p.r2 - v.r2) / abs(v.r2) * 100:.1f}" if v.r2 != 0 else "n/a"]
+        rows.append(gains)
+    return format_table(headers, rows,
+                        title=f"Table IV / DAFusion plug-in ({payload['city']}, "
+                              f"profile={payload['profile']})")

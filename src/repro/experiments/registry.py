@@ -1,0 +1,71 @@
+"""Experiment index: one entry per paper table/figure.
+
+``run_experiment("table3")`` executes the runner; each entry carries the
+formatter that renders the paper-style text table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .ablation import format_table6, run_table6
+from .density import format_fig8, run_fig8
+from .dimensionality import format_fig9, run_fig9
+from .layers import format_table7, run_table7
+from .overall import format_table3, run_table3
+from .plugin import format_table4, run_table4
+from .runtime import format_table5, run_table5
+from .scalability import format_fig7, run_fig7
+from .views import format_fig6, run_fig6
+
+__all__ = ["EXPERIMENTS", "ExperimentSpec", "run_experiment", "available_experiments"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproducible paper artifact."""
+
+    id: str
+    paper_artifact: str
+    description: str
+    runner: Callable[..., dict]
+    formatter: Callable[[dict], str]
+
+
+EXPERIMENTS = {
+    spec.id: spec for spec in [
+        ExperimentSpec("table3", "Table III", "Overall prediction accuracy",
+                       run_table3, format_table3),
+        ExperimentSpec("table4", "Table IV", "DAFusion plugged into baselines",
+                       run_table4, format_table4),
+        ExperimentSpec("table5", "Table V", "Embedding learning / downstream time",
+                       run_table5, format_table5),
+        ExperimentSpec("table6", "Table VI", "Component ablation",
+                       run_table6, format_table6),
+        ExperimentSpec("table7", "Table VII", "#RegionFusion layers",
+                       run_table7, format_table7),
+        ExperimentSpec("fig6", "Fig. 6", "Input-view ablation",
+                       run_fig6, format_fig6),
+        ExperimentSpec("fig7", "Fig. 7", "Scalability in #regions",
+                       run_fig7, format_fig7),
+        ExperimentSpec("fig8", "Fig. 8", "Population-density split",
+                       run_fig8, format_fig8),
+        ExperimentSpec("fig9", "Fig. 9", "Embedding dimensionality sweep",
+                       run_fig9, format_fig9),
+    ]
+}
+
+
+def available_experiments() -> list[str]:
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, profile: str = "quick", **kwargs) -> tuple[dict, str]:
+    """Run one experiment; returns (payload, formatted_table)."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; "
+                       f"available: {available_experiments()}")
+    spec = EXPERIMENTS[experiment_id]
+    payload = spec.runner(profile=profile, **kwargs)
+    return payload, spec.formatter(payload)

@@ -1,0 +1,51 @@
+"""Table V — embedding-learning and downstream running time.
+
+The paper reports per-model training time (CPU and GPU) and downstream
+task time across the three cities. Here everything runs on the same CPU;
+the claims to preserve are *relative*: HAFusion within the same order of
+magnitude as the fastest model, RegionDCL slowest in training, HREP
+orders of magnitude slower downstream (prompt learning per task).
+"""
+
+from __future__ import annotations
+
+from ..data import load_city
+from ..eval.reporting import format_table
+from .common import MODEL_LABELS, MODEL_ORDER, compute_embeddings, evaluate_model, get_profile
+
+__all__ = ["run_table5", "format_table5"]
+
+CITIES = ("nyc", "chi", "sf")
+
+
+def run_table5(profile: str = "quick", cities: tuple[str, ...] = CITIES,
+               models: tuple[str, ...] = MODEL_ORDER,
+               use_cache: bool = True) -> dict:
+    """Returns per-model training seconds and downstream seconds per city."""
+    prof = get_profile(profile)
+    training: dict = {model: {} for model in models}
+    downstream: dict = {model: {} for model in models}
+    for city_name in cities:
+        city = load_city(city_name, seed=prof.seed)
+        for model_name in models:
+            emb = compute_embeddings(model_name, city, profile=prof, use_cache=use_cache)
+            training[model_name][city_name] = emb.train_seconds
+            result = evaluate_model(emb, city, "checkin", profile=prof)
+            downstream[model_name][city_name] = result.seconds
+    return {"training": training, "downstream": downstream,
+            "profile": prof.name, "cities": cities, "models": models}
+
+
+def format_table5(payload: dict) -> str:
+    headers = ["model"] + [f"train:{c} (s)" for c in payload["cities"]] \
+        + [f"downstream:{c} (s)" for c in payload["cities"]]
+    rows = []
+    for model in payload["models"]:
+        row = [MODEL_LABELS.get(model, model)]
+        row += [f"{payload['training'][model][c]:.1f}" for c in payload["cities"]]
+        row += [f"{payload['downstream'][model][c]:.3f}" for c in payload["cities"]]
+        rows.append(row)
+    return format_table(
+        headers, rows,
+        title=f"Table V / running time, single CPU (profile={payload['profile']}; "
+              "training times read from cache metadata when embeddings were reused)")

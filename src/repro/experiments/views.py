@@ -1,0 +1,52 @@
+"""Fig. 6 — impact of different input views (NYC).
+
+HAFusion without each view (w/o-M, w/o-P, w/o-L) vs the full model, with
+MVURE and HREP as references. Expected shape: dropping mobility hurts
+most; land use second; HAFusion-w/o-L still beats MVURE/HREP.
+"""
+
+from __future__ import annotations
+
+from ..data import load_city
+from ..eval.reporting import format_table
+from .common import MODEL_LABELS, compute_embeddings, evaluate_model, get_profile
+
+__all__ = ["VIEW_VARIANTS", "run_fig6", "format_fig6"]
+
+TASKS = ("checkin", "crime", "service_call")
+
+#: Variant -> views kept.
+VIEW_VARIANTS = {
+    "HAFusion-w/o-M": ["poi", "landuse"],
+    "HAFusion-w/o-P": ["mobility", "landuse"],
+    "HAFusion-w/o-L": ["mobility", "poi"],
+    "HAFusion": ["mobility", "poi", "landuse"],
+}
+
+
+def run_fig6(profile: str = "quick", city_name: str = "nyc",
+             use_cache: bool = True) -> dict:
+    """Returns {label: {task: TaskResult}} including MVURE/HREP refs."""
+    prof = get_profile(profile)
+    city = load_city(city_name, seed=prof.seed)
+    results: dict = {}
+    for reference in ("mvure", "hrep"):
+        emb = compute_embeddings(reference, city, profile=prof, use_cache=use_cache)
+        results[MODEL_LABELS[reference]] = {
+            task: evaluate_model(emb, city, task, profile=prof) for task in TASKS}
+    for variant, keep in VIEW_VARIANTS.items():
+        emb = compute_embeddings("hafusion", city, profile=prof,
+                                 use_cache=use_cache,
+                                 config_overrides={"view_names": list(keep)})
+        results[variant] = {task: evaluate_model(emb, city, task, profile=prof)
+                            for task in TASKS}
+    return {"results": results, "profile": prof.name, "city": city_name}
+
+
+def format_fig6(payload: dict) -> str:
+    headers = ["model"] + [f"{task}:R2" for task in TASKS]
+    rows = [[label] + [f"{per_task[t].r2:.3f}" for t in TASKS]
+            for label, per_task in payload["results"].items()]
+    return format_table(headers, rows,
+                        title=f"Fig. 6 / input-view ablation ({payload['city']}, "
+                              f"profile={payload['profile']})")

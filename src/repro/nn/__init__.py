@@ -1,0 +1,49 @@
+"""``repro.nn`` — a from-scratch numpy deep-learning substrate.
+
+This package replaces PyTorch for the HAFusion reproduction. It provides a
+reverse-mode autograd tensor (:class:`Tensor`), module system, layers
+(linear, layer-norm, dropout, MLP), attention mechanisms (multi-head self
+attention, Transformer encoder blocks, external attention), stride-1 2-D
+convolution/pooling, Xavier initialization, and Adam/SGD optimizers.
+
+Every differentiable component is validated against finite-difference
+gradient checks in ``tests/nn``.
+"""
+
+from . import functional, init
+from .attention import ExternalAttention, MultiHeadSelfAttention, TransformerEncoderBlock
+from .conv import AvgPool2d, Conv2d
+from .gradcheck import check_gradients, numeric_gradient
+from .layers import MLP, Dropout, FeedForward, Identity, LayerNorm, Linear
+from .module import Module, ModuleList, Parameter, Sequential
+from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "Parameter",
+    "Module",
+    "Sequential",
+    "ModuleList",
+    "Linear",
+    "MLP",
+    "FeedForward",
+    "LayerNorm",
+    "Dropout",
+    "Identity",
+    "MultiHeadSelfAttention",
+    "TransformerEncoderBlock",
+    "ExternalAttention",
+    "Conv2d",
+    "AvgPool2d",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "check_gradients",
+    "numeric_gradient",
+    "functional",
+    "init",
+]

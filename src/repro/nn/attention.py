@@ -1,0 +1,125 @@
+"""Attention mechanisms used throughout HAFusion.
+
+Three flavours appear in the paper:
+
+- **Multi-head self-attention** (Vaswani et al., 2017) — the core of
+  RegionFusion (paper Eq. 4–5) and of the vanilla-attention ablations.
+- **Transformer encoder block** — self-attention + residual/LayerNorm +
+  MLP + residual/LayerNorm (paper Eq. 6–7); the stacked unit of both
+  RegionFusion and IntraAFL.
+- **External attention** (Guo et al., 2022) — two linear maps through a
+  small learnable "memory unit" of ``dm`` representative embeddings, used
+  by InterAFL (paper Eq. 16–17) for O(n·d·dm) cross-view correlation
+  learning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .layers import Dropout, FeedForward, LayerNorm, Linear
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = [
+    "MultiHeadSelfAttention",
+    "TransformerEncoderBlock",
+    "ExternalAttention",
+]
+
+
+class MultiHeadSelfAttention(Module):
+    """Multi-head scaled dot-product self-attention.
+
+    Input shape ``(n, d_model)`` (a set of region embeddings); output has
+    the same shape. The attention weights of the last forward pass are
+    exposed as ``last_attention`` (shape ``(heads, n, n)``) because
+    IntraAFL's RegionSA consumes the coefficient matrix itself.
+    """
+
+    def __init__(self, d_model: int, num_heads: int = 4,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ValueError(f"d_model={d_model} must be divisible by num_heads={num_heads}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.d_head = d_model // num_heads
+        self.w_query = Linear(d_model, d_model, bias=False, rng=rng)
+        self.w_key = Linear(d_model, d_model, bias=False, rng=rng)
+        self.w_value = Linear(d_model, d_model, bias=False, rng=rng)
+        self.w_out = Linear(d_model, d_model, bias=False, rng=rng)
+        self.last_attention: Tensor | None = None
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        n = x.shape[0]
+        return x.reshape(n, self.num_heads, self.d_head).swapaxes(0, 1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        n = x.shape[0]
+        query = self._split_heads(self.w_query(x))
+        key = self._split_heads(self.w_key(x))
+        value = self._split_heads(self.w_value(x))
+        context, weights = F.scaled_dot_product_attention(query, key, value)
+        self.last_attention = weights
+        merged = context.swapaxes(0, 1).reshape(n, self.d_model)
+        return self.w_out(merged)
+
+
+class TransformerEncoderBlock(Module):
+    """Post-norm Transformer encoder block (paper Eq. 4–7).
+
+    ``attention`` may be swapped out (e.g. for RegionSA in IntraAFL); it
+    must map ``(n, d) -> (n, d)``.
+    """
+
+    def __init__(self, d_model: int, num_heads: int = 4, d_hidden: int | None = None,
+                 dropout: float = 0.1, attention: Module | None = None,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        d_hidden = d_hidden if d_hidden is not None else 2 * d_model
+        self.attention = attention if attention is not None else MultiHeadSelfAttention(
+            d_model, num_heads, rng=rng)
+        self.norm1 = LayerNorm(d_model)
+        self.norm2 = LayerNorm(d_model)
+        self.dropout1 = Dropout(dropout, rng=rng)
+        self.dropout2 = Dropout(dropout, rng=rng)
+        self.mlp = FeedForward(d_model, d_hidden, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        attended = self.attention(x)
+        x = self.norm1(x + self.dropout1(attended))
+        x = self.norm2(x + self.dropout2(self.mlp(x)))
+        return x
+
+
+class ExternalAttention(Module):
+    """External attention through a learnable memory unit (paper Eq. 16–17).
+
+    The memory unit is realised as two feed-forward maps: ``M_k ∈ R^{d×dm}``
+    producing correlation coefficients between every input row and the
+    ``dm`` representative embeddings, and ``M_v ∈ R^{dm×d}`` projecting the
+    doubly-normalised coefficients back to the embedding space.
+
+    Input shape ``(n, v, d)`` — all regions across all views. Softmax runs
+    over the view axis (axis 1) and L1 normalisation over the memory axis
+    (axis 2), exactly as Sec. V prescribes.
+    """
+
+    def __init__(self, d_model: int, memory_size: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.memory_size = memory_size
+        self.m_key = Parameter(init.xavier_uniform((memory_size, d_model), rng))
+        self.m_value = Parameter(init.xavier_uniform((d_model, memory_size), rng))
+
+    def forward(self, x: Tensor) -> Tensor:
+        coefficients = x @ self.m_key.T            # (n, v, dm)  — Eq. 16
+        weights = F.softmax(coefficients, axis=1)  # over views
+        weights = F.l1_normalize(weights, axis=2)  # over memory slots
+        return weights @ self.m_value.T            # (n, v, d)   — Eq. 17

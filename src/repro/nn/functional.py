@@ -1,0 +1,128 @@
+"""Composite differentiable operations built from :class:`repro.nn.Tensor` primitives.
+
+Every function here is pure: it takes tensors and returns tensors, with
+gradients flowing through the primitive ops recorded in
+:mod:`repro.nn.tensor`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "tanh",
+    "gelu",
+    "dropout",
+    "l1_normalize",
+    "l2_normalize",
+    "cosine_similarity_matrix",
+    "mse_loss",
+    "l1_loss",
+    "scaled_dot_product_attention",
+]
+
+_EPS = 1e-12
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis`` (fused primitive)."""
+    return x.softmax(axis=axis)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis`` (fused primitive)."""
+    return x.log_softmax(axis=axis)
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    return x.leaky_relu(negative_slope)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian Error Linear Unit (tanh approximation)."""
+    inner = 0.7978845608028654 * (x + 0.044715 * (x * x * x))
+    return 0.5 * (x * (1.0 + inner.tanh()))
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator | None = None) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1/(1-p)`` at train time."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    rng = rng if rng is not None else np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def l1_normalize(x: Tensor, axis: int = -1) -> Tensor:
+    """Normalize so absolute values along ``axis`` sum to one."""
+    denom = x.abs().sum(axis=axis, keepdims=True) + _EPS
+    return x / denom
+
+
+def l2_normalize(x: Tensor, axis: int = -1) -> Tensor:
+    """Normalize rows to unit Euclidean norm."""
+    denom = ((x * x).sum(axis=axis, keepdims=True) + _EPS) ** 0.5
+    return x / denom
+
+
+def cosine_similarity_matrix(x: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarity between rows of a plain array.
+
+    Used to build the (constant) similarity targets of the feature
+    reconstruction loss (paper Eq. 8); hence it operates on numpy arrays
+    and does not build a graph.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    norms = np.linalg.norm(x, axis=1, keepdims=True)
+    norms = np.where(norms < _EPS, 1.0, norms)
+    unit = x / norms
+    return unit @ unit.T
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def l1_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    return (prediction - target).abs().mean()
+
+
+def scaled_dot_product_attention(
+    query: Tensor,
+    key: Tensor,
+    value: Tensor,
+) -> tuple[Tensor, Tensor]:
+    """Attention(Q, K, V) = softmax(QKᵀ/√d) V  (paper Eq. 4–5).
+
+    Supports arbitrary leading batch dimensions (e.g. attention heads).
+
+    Returns
+    -------
+    (output, attention_weights)
+    """
+    d = query.shape[-1]
+    scores = (query @ key.T) * (1.0 / np.sqrt(d))
+    weights = softmax(scores, axis=-1)
+    return weights @ value, weights

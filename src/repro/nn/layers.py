@@ -1,0 +1,140 @@
+"""Basic neural network layers: Linear, MLP, LayerNorm, Dropout.
+
+These are the building blocks the paper's equations compose: linear
+transformations (Eq. 1, 4), MLPs with residual connections (Eq. 7),
+layer normalization with dropout (Eq. 6–7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["Linear", "MLP", "FeedForward", "LayerNorm", "Dropout", "Identity"]
+
+
+class Identity(Module):
+    """Pass-through layer; handy for ablations that remove a component."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Linear(Module):
+    """Affine map ``y = x Wᵀ + b`` over the last dimension.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output widths.
+    bias:
+        Whether to add a learnable bias.
+    rng:
+        Generator used for Xavier-uniform weight init.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((out_features, in_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable hidden activation.
+
+    ``hidden_features=None`` gives a single linear layer followed by the
+    activation — the exact "MLP (a linear layer and a ReLU)" the paper uses
+    to map embeddings to feature-oriented spaces (Sec. IV-C).
+    """
+
+    _ACTIVATIONS = {
+        "relu": F.relu,
+        "leaky_relu": F.leaky_relu,
+        "tanh": F.tanh,
+        "gelu": F.gelu,
+        "sigmoid": F.sigmoid,
+        "none": lambda x: x,
+    }
+
+    def __init__(self, in_features: int, out_features: int,
+                 hidden_features: int | None = None, activation: str = "relu",
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if activation not in self._ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}; choose from {sorted(self._ACTIVATIONS)}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.activation = activation
+        self._act = self._ACTIVATIONS[activation]
+        if hidden_features is None:
+            self.fc1 = Linear(in_features, out_features, rng=rng)
+            self.fc2 = None
+        else:
+            self.fc1 = Linear(in_features, hidden_features, rng=rng)
+            self.fc2 = Linear(hidden_features, out_features, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self._act(self.fc1(x))
+        if self.fc2 is not None:
+            out = self.fc2(out)
+        return out
+
+
+class FeedForward(Module):
+    """Transformer position-wise feed-forward block: Linear→act→Linear."""
+
+    def __init__(self, d_model: int, d_hidden: int, activation: str = "relu",
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.inner = MLP(d_model, d_model, hidden_features=d_hidden,
+                         activation=activation, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.inner(x)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension with learnable affine."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.gamma = Parameter(init.ones((normalized_shape,)))
+        self.beta = Parameter(init.zeros((normalized_shape,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        normalized = (x - mean) * ((var + self.eps) ** -0.5)
+        return normalized * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.1, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, self.rng)

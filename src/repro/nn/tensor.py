@@ -1,0 +1,602 @@
+"""Reverse-mode automatic differentiation on top of numpy arrays.
+
+This module is the foundation of :mod:`repro.nn`, the from-scratch
+deep-learning substrate used by the HAFusion reproduction (the original
+paper uses PyTorch, which is not available in this environment).
+
+The design follows the classic tape-based approach: every operation on a
+:class:`Tensor` records a backward closure and its parent tensors; calling
+:meth:`Tensor.backward` runs the closures in reverse topological order.
+All operations are numpy-vectorised and support numpy-style broadcasting,
+including batched matrix multiplication, which the attention modules rely
+on.
+
+Example
+-------
+>>> from repro.nn import Tensor
+>>> x = Tensor([[1.0, 2.0]], requires_grad=True)
+>>> y = (x * x).sum()
+>>> y.backward()
+>>> x.grad.tolist()
+[[2.0, 4.0]]
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "set_default_dtype",
+    "get_default_dtype",
+    "use_dtype",
+]
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+_GRAD_ENABLED = True
+_DEFAULT_DTYPE = np.float64
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables gradient recording.
+
+    Used for evaluation passes and optimizer updates, mirroring
+    ``torch.no_grad``.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradients."""
+    return _GRAD_ENABLED
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the dtype new leaf tensors are created with.
+
+    float64 (default) gives finite-difference-checkable gradients;
+    float32 roughly halves training time and memory (PyTorch's default).
+    Intermediate results inherit their inputs' dtype.
+    """
+    global _DEFAULT_DTYPE
+    dtype = np.dtype(dtype)
+    if dtype not in (np.float32, np.float64):
+        raise ValueError(f"unsupported dtype {dtype}; use float32 or float64")
+    _DEFAULT_DTYPE = dtype.type
+
+
+def get_default_dtype():
+    """Return the current default leaf dtype."""
+    return _DEFAULT_DTYPE
+
+
+@contextlib.contextmanager
+def use_dtype(dtype):
+    """Temporarily switch the default leaf dtype (training entry points
+    wrap model construction + training in ``use_dtype(np.float32)``)."""
+    previous = get_default_dtype()
+    set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting.
+
+    Broadcasting either prepends dimensions or stretches size-1 axes; the
+    gradient of a broadcast is the sum over the broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Remove prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over stretched size-1 axes.
+    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    # asarray is a no-op when the dtype already matches, so intermediates
+    # created under a consistent default dtype are never copied.
+    return np.asarray(value, dtype=_DEFAULT_DTYPE)
+
+
+class Tensor:
+    """A numpy array with reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a numpy float array.
+    requires_grad:
+        If True, the tensor participates in the autograd graph and will
+        accumulate a ``.grad`` array after ``backward()``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op",
+                 "_grad_owned")
+
+    __array_priority__ = 100  # ensure Tensor.__rmul__ wins over np.ndarray.__mul__
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False):
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[], None] | None = None
+        self._prev: tuple[Tensor, ...] = ()
+        self._op = ""
+        self._grad_owned = False
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        """Transpose of the last two dimensions (matrix transpose)."""
+        return self.swapaxes(-1, -2) if self.ndim >= 2 else self
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=16)}{grad_note})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (a view, not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"], op: str) -> "Tensor":
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._prev = tuple(parents)
+            out._op = op
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            # Store the incoming array by reference when possible; it may
+            # be shared with another node's gradient, so in-place updates
+            # are only allowed once we own a private buffer.
+            if grad.base is not None or grad is self.data:
+                self.grad = grad.copy()
+                self._grad_owned = True
+            else:
+                self.grad = grad
+                self._grad_owned = False
+        elif self._grad_owned:
+            self.grad += grad
+        else:
+            self.grad = self.grad + grad
+            self._grad_owned = True
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective w.r.t. this tensor. Defaults to
+            ones (and must be omitted only for scalar tensors, mirroring
+            PyTorch semantics).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("backward() without an explicit gradient requires a scalar tensor")
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.shape:
+                raise ValueError(f"gradient shape {grad.shape} does not match tensor shape {self.shape}")
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+            if node._prev:
+                # Intermediate node: its gradient has been fully consumed
+                # (children run before parents in reverse-topo order), so
+                # free the buffer and the tape entry eagerly. This keeps
+                # peak memory proportional to the live activations rather
+                # than activations + all gradients, which matters for the
+                # (c, n, n) convolution buffers. Leaf gradients persist.
+                node.grad = None
+                node._grad_owned = False
+                node._backward = None
+                node._prev = ()
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = Tensor._make(self.data + other.data, (self, other), "add")
+        if out.requires_grad:
+            def backward():
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(out.grad, self.shape))
+                if other.requires_grad:
+                    other._accumulate(_unbroadcast(out.grad, other.shape))
+            out._backward = backward
+        return out
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = Tensor._make(self.data * other.data, (self, other), "mul")
+        if out.requires_grad:
+            def backward():
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
+                if other.requires_grad:
+                    other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
+            out._backward = backward
+        return out
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-(other if isinstance(other, Tensor) else Tensor(other)))
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        return self * other ** -1.0
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self + other
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self * other
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) + (-self)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) * self ** -1.0
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp(log(x) * y)")
+        out = Tensor._make(self.data ** exponent, (self,), "pow")
+        if out.requires_grad:
+            def backward():
+                self._accumulate(_unbroadcast(out.grad * exponent * self.data ** (exponent - 1.0), self.shape))
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Matrix multiplication (supports numpy batched semantics)
+    # ------------------------------------------------------------------
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = Tensor._make(self.data @ other.data, (self, other), "matmul")
+        if out.requires_grad:
+            def backward():
+                grad = out.grad
+                if self.requires_grad:
+                    if other.data.ndim == 1:
+                        grad_self = np.expand_dims(grad, -1) * other.data
+                    else:
+                        grad_self = grad @ other.data.swapaxes(-1, -2)
+                    if self.data.ndim == 1:
+                        grad_self = grad_self.sum(axis=tuple(range(grad_self.ndim - 1)))
+                    self._accumulate(_unbroadcast(grad_self, self.shape))
+                if other.requires_grad:
+                    if self.data.ndim == 1:
+                        grad_other = np.expand_dims(self.data, -1) * np.expand_dims(grad, -2)
+                    else:
+                        grad_other = self.data.swapaxes(-1, -2) @ grad
+                    if other.data.ndim == 1:
+                        grad_other = grad_other.sum(axis=tuple(range(grad_other.ndim - 1)))
+                    other._accumulate(_unbroadcast(grad_other, other.shape))
+            out._backward = backward
+        return out
+
+    def __rmatmul__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) @ self
+
+    # ------------------------------------------------------------------
+    # Unary math
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out = Tensor._make(np.exp(self.data), (self,), "exp")
+        if out.requires_grad:
+            def backward():
+                self._accumulate(out.grad * out.data)
+            out._backward = backward
+        return out
+
+    def log(self) -> "Tensor":
+        out = Tensor._make(np.log(self.data), (self,), "log")
+        if out.requires_grad:
+            def backward():
+                self._accumulate(out.grad / self.data)
+            out._backward = backward
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def tanh(self) -> "Tensor":
+        out = Tensor._make(np.tanh(self.data), (self,), "tanh")
+        if out.requires_grad:
+            def backward():
+                self._accumulate(out.grad * (1.0 - out.data ** 2))
+            out._backward = backward
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        out = Tensor._make(1.0 / (1.0 + np.exp(-self.data)), (self,), "sigmoid")
+        if out.requires_grad:
+            def backward():
+                self._accumulate(out.grad * out.data * (1.0 - out.data))
+            out._backward = backward
+        return out
+
+    def relu(self) -> "Tensor":
+        out = Tensor._make(np.maximum(self.data, 0.0), (self,), "relu")
+        if out.requires_grad:
+            def backward():
+                self._accumulate(out.grad * (self.data > 0.0))
+            out._backward = backward
+        return out
+
+    def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        scale = np.where(self.data > 0.0, 1.0, negative_slope)
+        out = Tensor._make(self.data * scale, (self,), "leaky_relu")
+        if out.requires_grad:
+            def backward():
+                self._accumulate(out.grad * scale)
+            out._backward = backward
+        return out
+
+    def abs(self) -> "Tensor":
+        out = Tensor._make(np.abs(self.data), (self,), "abs")
+        if out.requires_grad:
+            def backward():
+                self._accumulate(out.grad * np.sign(self.data))
+            out._backward = backward
+        return out
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable softmax as a fused primitive.
+
+        Registered as a single tape node (dx = y ⊙ (g − Σ g⊙y)) instead of
+        a chain of exp/sum/div ops — the attention modules call this on
+        large (c, n, n) arrays, where the fused backward matters.
+        """
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        np.exp(shifted, out=shifted)
+        shifted /= shifted.sum(axis=axis, keepdims=True)
+        out = Tensor._make(shifted, (self,), "softmax")
+        if out.requires_grad:
+            def backward():
+                g = out.grad
+                dot = (g * out.data).sum(axis=axis, keepdims=True)
+                self._accumulate(out.data * (g - dot))
+            out._backward = backward
+        return out
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable log-softmax as a fused primitive.
+
+        Backward: dx = g − softmax(x) ⊙ Σ g.
+        """
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out = Tensor._make(shifted - log_norm, (self,), "log_softmax")
+        if out.requires_grad:
+            def backward():
+                g = out.grad
+                total = g.sum(axis=axis, keepdims=True)
+                self._accumulate(g - np.exp(out.data) * total)
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        out = Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), "sum")
+        if out.requires_grad:
+            def backward():
+                grad = out.grad
+                if axis is not None and not keepdims:
+                    axes = (axis,) if isinstance(axis, int) else axis
+                    grad = np.expand_dims(grad, tuple(a % self.ndim for a in axes))
+                self._accumulate(np.broadcast_to(grad, self.shape).copy())
+            out._backward = backward
+        return out
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else axis
+            count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        """Population variance (ddof=0), as used by layer normalization."""
+        centered = self - self.mean(axis=axis, keepdims=True)
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        out = Tensor._make(out_data, (self,), "max")
+        if out.requires_grad:
+            expanded = self.data.max(axis=axis, keepdims=True)
+            mask = (self.data == expanded).astype(self.data.dtype)
+            mask = mask / mask.sum(axis=axis, keepdims=True)
+
+            def backward():
+                grad = out.grad
+                if axis is not None and not keepdims:
+                    grad = np.expand_dims(grad, axis)
+                self._accumulate(mask * grad)
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = Tensor._make(self.data.reshape(shape), (self,), "reshape")
+        if out.requires_grad:
+            def backward():
+                self._accumulate(out.grad.reshape(self.shape))
+            out._backward = backward
+        return out
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        out = Tensor._make(self.data.swapaxes(axis1, axis2), (self,), "swapaxes")
+        if out.requires_grad:
+            def backward():
+                self._accumulate(out.grad.swapaxes(axis1, axis2))
+            out._backward = backward
+        return out
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out = Tensor._make(self.data.transpose(axes), (self,), "transpose")
+        if out.requires_grad:
+            inverse = np.argsort(axes)
+
+            def backward():
+                self._accumulate(out.grad.transpose(inverse))
+            out._backward = backward
+        return out
+
+    def __getitem__(self, index) -> "Tensor":
+        out = Tensor._make(self.data[index], (self,), "getitem")
+        if out.requires_grad:
+            def backward():
+                grad = np.zeros_like(self.data)
+                np.add.at(grad, index, out.grad)
+                self._accumulate(grad)
+            out._backward = backward
+        return out
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        out = Tensor._make(np.expand_dims(self.data, axis), (self,), "expand_dims")
+        if out.requires_grad:
+            def backward():
+                self._accumulate(out.grad.squeeze(axis))
+            out._backward = backward
+        return out
+
+    def squeeze(self, axis: int) -> "Tensor":
+        out = Tensor._make(np.squeeze(self.data, axis), (self,), "squeeze")
+        if out.requires_grad:
+            def backward():
+                self._accumulate(np.expand_dims(out.grad, axis))
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Joining
+    # ------------------------------------------------------------------
+    @staticmethod
+    def concat(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+        out = Tensor._make(np.concatenate([t.data for t in tensors], axis=axis), tensors, "concat")
+        if out.requires_grad:
+            sizes = [t.shape[axis] for t in tensors]
+            offsets = np.cumsum([0] + sizes)
+
+            def backward():
+                for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                    if tensor.requires_grad:
+                        index = [slice(None)] * out.ndim
+                        index[axis] = slice(start, stop)
+                        tensor._accumulate(out.grad[tuple(index)])
+            out._backward = backward
+        return out
+
+    @staticmethod
+    def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+        out = Tensor._make(np.stack([t.data for t in tensors], axis=axis), tensors, "stack")
+        if out.requires_grad:
+            def backward():
+                grads = np.split(out.grad, len(tensors), axis=axis)
+                for tensor, grad in zip(tensors, grads):
+                    if tensor.requires_grad:
+                        tensor._accumulate(np.squeeze(grad, axis=axis))
+            out._backward = backward
+        return out

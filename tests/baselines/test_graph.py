@@ -1,0 +1,109 @@
+"""Tests for the shared graph layers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GCNLayer, GraphAttentionLayer, knn_graph, normalize_adjacency
+from repro.nn import Tensor
+
+
+class TestKnnGraph:
+    def test_self_loops_present(self, rng):
+        sim = rng.random((10, 10))
+        adj = knn_graph(sim, k=3)
+        assert np.allclose(np.diag(adj), 1.0)
+
+    def test_symmetric(self, rng):
+        adj = knn_graph(rng.random((10, 10)), k=3, symmetric=True)
+        assert np.allclose(adj, adj.T)
+
+    def test_min_degree(self, rng):
+        adj = knn_graph(rng.random((12, 12)), k=4)
+        assert ((adj.sum(axis=1) - 1) >= 4).all()  # k neighbours + self
+
+    def test_k_clamped_to_n(self, rng):
+        adj = knn_graph(rng.random((5, 5)), k=100)
+        assert adj.shape == (5, 5)
+        assert (adj == 1).all()  # fully connected when k >= n-1
+
+    def test_keeps_most_similar(self):
+        sim = np.array([
+            [1.0, 0.9, 0.1, 0.1],
+            [0.9, 1.0, 0.1, 0.1],
+            [0.1, 0.1, 1.0, 0.9],
+            [0.1, 0.1, 0.9, 1.0],
+        ])
+        adj = knn_graph(sim, k=1, symmetric=False)
+        assert adj[0, 1] == 1 and adj[0, 2] == 0
+        assert adj[2, 3] == 1 and adj[2, 0] == 0
+
+    def test_non_square_rejected(self, rng):
+        with pytest.raises(ValueError):
+            knn_graph(rng.random((3, 4)))
+
+
+class TestNormalizeAdjacency:
+    def test_row_sums_bounded(self, rng):
+        adj = knn_graph(rng.random((8, 8)), k=3)
+        norm = normalize_adjacency(adj)
+        assert norm.max() <= 1.0 + 1e-9
+        assert (norm >= 0).all()
+
+    def test_isolated_node_safe(self):
+        adj = np.zeros((3, 3))
+        adj[0, 1] = adj[1, 0] = 1.0
+        norm = normalize_adjacency(adj)
+        assert np.isfinite(norm).all()
+        assert norm[2].sum() == 0.0
+
+    def test_symmetric_normalization_formula(self):
+        adj = np.array([[1.0, 1.0], [1.0, 1.0]])
+        norm = normalize_adjacency(adj)
+        assert np.allclose(norm, 0.5)
+
+
+class TestGraphLayers:
+    def test_gat_output_shape(self, rng):
+        adj = knn_graph(rng.random((10, 10)), k=3)
+        layer = GraphAttentionLayer(6, 4, adj, rng=rng)
+        out = layer(Tensor(rng.standard_normal((10, 6))))
+        assert out.shape == (10, 4)
+
+    def test_gat_respects_mask(self, rng):
+        # With a two-block diagonal graph, node 0's output must not
+        # depend on features of the other block.
+        adj = np.zeros((6, 6))
+        adj[:3, :3] = 1.0
+        adj[3:, 3:] = 1.0
+        layer = GraphAttentionLayer(4, 4, adj, rng=rng)
+        x = rng.standard_normal((6, 4))
+        base = layer(Tensor(x)).data[0].copy()
+        x2 = x.copy()
+        x2[4] += 100.0
+        moved = layer(Tensor(x2)).data[0]
+        assert np.allclose(base, moved, atol=1e-8)
+
+    def test_gat_gradients_flow(self, rng):
+        adj = knn_graph(rng.random((6, 6)), k=2)
+        layer = GraphAttentionLayer(4, 4, adj, rng=rng)
+        x = Tensor(rng.standard_normal((6, 4)), requires_grad=True)
+        (layer(x) ** 2.0).sum().backward()
+        assert x.grad is not None
+        assert layer.transform.weight.grad is not None
+
+    def test_gcn_output_shape(self, rng):
+        adj = knn_graph(rng.random((10, 10)), k=3)
+        layer = GCNLayer(6, 4, adj, rng=rng)
+        assert layer(Tensor(rng.standard_normal((10, 6)))).shape == (10, 4)
+
+    def test_gcn_propagates_neighbors(self, rng):
+        adj = np.eye(4)
+        adj[0, 1] = adj[1, 0] = 1.0
+        layer = GCNLayer(3, 3, adj, rng=rng)
+        x = rng.standard_normal((4, 3))
+        base = layer(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[1] += 5.0
+        moved = layer(Tensor(x2)).data
+        assert np.abs(moved[0] - base[0]).max() > 1e-8   # neighbour moved
+        assert np.allclose(moved[3], base[3], atol=1e-9)  # non-neighbour did not

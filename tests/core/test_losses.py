@@ -1,0 +1,112 @@
+"""Tests for the HAFusion training objectives (paper Eq. 8-12)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    feature_similarity_loss,
+    mobility_kl_loss,
+    mobility_transition_probabilities,
+)
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.nn.gradcheck import check_gradients
+
+
+class TestFeatureSimilarityLoss:
+    def test_zero_when_dot_products_match_cosine(self, rng):
+        features = rng.standard_normal((6, 4))
+        # Unit-normalized features: dot products equal cosine similarity.
+        unit = features / np.linalg.norm(features, axis=1, keepdims=True)
+        loss = feature_similarity_loss(Tensor(unit), features)
+        assert loss.item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_mismatched(self, rng):
+        embeddings = Tensor(rng.standard_normal((6, 4)) * 3.0)
+        features = rng.standard_normal((6, 8))
+        assert feature_similarity_loss(embeddings, features).item() > 0.0
+
+    def test_gradient_flows(self, rng):
+        emb = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        features = rng.standard_normal((4, 5))
+        check_gradients(lambda: feature_similarity_loss(emb, features), [emb], atol=1e-4)
+
+    def test_symmetric_in_regions(self, rng):
+        emb_data = rng.standard_normal((5, 3))
+        features = rng.standard_normal((5, 4))
+        perm = rng.permutation(5)
+        a = feature_similarity_loss(Tensor(emb_data), features).item()
+        b = feature_similarity_loss(Tensor(emb_data[perm]), features[perm]).item()
+        assert a == pytest.approx(b, abs=1e-9)
+
+
+class TestTransitionProbabilities:
+    def test_rows_and_columns_normalized(self, rng):
+        mobility = rng.poisson(20, size=(8, 8)).astype(float)
+        p_source, p_dest = mobility_transition_probabilities(mobility)
+        assert np.allclose(p_source.sum(axis=1), 1.0)
+        assert np.allclose(p_dest.sum(axis=0), 1.0)
+
+    def test_zero_row_becomes_uniform(self):
+        mobility = np.ones((4, 4))
+        mobility[2, :] = 0.0
+        p_source, _ = mobility_transition_probabilities(mobility)
+        assert np.allclose(p_source[2], 0.25)
+
+    def test_zero_column_becomes_uniform(self):
+        mobility = np.ones((4, 4))
+        mobility[:, 1] = 0.0
+        _, p_dest = mobility_transition_probabilities(mobility)
+        assert np.allclose(p_dest[:, 1], 0.25)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            mobility_transition_probabilities(np.ones((3, 4)))
+
+
+class TestMobilityKLLoss:
+    def test_lower_bound_is_entropy(self, rng):
+        """Cross-entropy >= entropy of the empirical distributions."""
+        mobility = rng.poisson(30, size=(6, 6)).astype(float) + 1.0
+        p_source, p_dest = mobility_transition_probabilities(mobility)
+        entropy = (-(p_source * np.log(p_source)).sum()
+                   - (p_dest * np.log(p_dest)).sum())
+        h = Tensor(rng.standard_normal((6, 4)))
+        loss = mobility_kl_loss(h, h, mobility, scale="sum")
+        assert loss.item() >= entropy - 1e-9
+
+    def test_mean_is_sum_over_n(self, rng):
+        mobility = rng.poisson(30, size=(6, 6)).astype(float) + 1.0
+        h_s = Tensor(rng.standard_normal((6, 4)))
+        h_d = Tensor(rng.standard_normal((6, 4)))
+        loss_sum = mobility_kl_loss(h_s, h_d, mobility, scale="sum").item()
+        loss_mean = mobility_kl_loss(h_s, h_d, mobility, scale="mean").item()
+        assert loss_mean == pytest.approx(loss_sum / 6.0)
+
+    def test_gradient_flows(self, rng):
+        mobility = rng.poisson(10, size=(4, 4)).astype(float) + 1.0
+        h_s = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        h_d = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        check_gradients(lambda: mobility_kl_loss(h_s, h_d, mobility),
+                        [h_s, h_d], atol=1e-4)
+
+    def test_training_decreases_kl(self, rng):
+        """A few gradient steps must reduce the loss toward the entropy floor."""
+        from repro.nn import Adam, Parameter
+        mobility = rng.poisson(30, size=(8, 8)).astype(float) + 1.0
+        h_s = Parameter(rng.standard_normal((8, 6)) * 0.1)
+        h_d = Parameter(rng.standard_normal((8, 6)) * 0.1)
+        optimizer = Adam([h_s, h_d], lr=0.05)
+        first = None
+        for _ in range(60):
+            optimizer.zero_grad()
+            loss = mobility_kl_loss(h_s, h_d, mobility)
+            loss.backward()
+            optimizer.step()
+            first = loss.item() if first is None else first
+        assert loss.item() < first
+
+    def test_invalid_scale_rejected(self, rng):
+        h = Tensor(rng.standard_normal((4, 3)))
+        with pytest.raises(ValueError):
+            mobility_kl_loss(h, h, np.ones((4, 4)), scale="median")

@@ -1,0 +1,135 @@
+"""Tests for city assembly, presets, and view feature matrices."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CITY_PRESETS,
+    CityConfig,
+    ViewSet,
+    available_cities,
+    generate_city,
+    load_city,
+    normalize_counts,
+)
+
+
+class TestNormalizeCounts:
+    def test_columns_standardized(self, rng):
+        counts = rng.poisson(20, size=(50, 8)).astype(float)
+        normalized = normalize_counts(counts)
+        assert np.allclose(normalized.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(normalized.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_zeroed(self):
+        counts = np.ones((10, 3))
+        normalized = normalize_counts(counts)
+        assert np.allclose(normalized, 0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_counts(np.array([[-1.0, 2.0]]))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_counts(np.ones(5))
+
+
+class TestViewSet:
+    def _make(self, rng):
+        return ViewSet(names=("a", "b"),
+                       matrices=[rng.random((10, 4)), rng.random((10, 6))])
+
+    def test_dims(self, rng):
+        views = self._make(rng)
+        assert views.dims() == [4, 6]
+        assert views.n_regions == 10
+        assert views.n_views == 2
+
+    def test_subset(self, rng):
+        views = self._make(rng)
+        sub = views.subset(["b"])
+        assert sub.names == ("b",)
+        assert sub.dims() == [6]
+
+    def test_subset_unknown_view(self, rng):
+        with pytest.raises(KeyError):
+            self._make(rng).subset(["c"])
+
+    def test_mismatched_regions_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ViewSet(names=("a", "b"),
+                    matrices=[rng.random((10, 4)), rng.random((9, 6))])
+
+    def test_name_count_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ViewSet(names=("a",), matrices=[rng.random((10, 4)), rng.random((10, 6))])
+
+
+class TestCityGeneration:
+    def test_deterministic_per_seed(self):
+        config = CityConfig(name="t", n_regions=30, total_trips=10000, poi_total=2000)
+        a = generate_city(config, seed=5)
+        b = generate_city(config, seed=5)
+        assert np.allclose(a.mobility.matrix, b.mobility.matrix)
+        assert np.allclose(a.targets.crime, b.targets.crime)
+
+    def test_different_seeds_differ(self):
+        config = CityConfig(name="t", n_regions=30, total_trips=10000, poi_total=2000)
+        a = generate_city(config, seed=5)
+        b = generate_city(config, seed=6)
+        assert not np.allclose(a.poi_counts, b.poi_counts)
+
+    def test_views_contract(self):
+        config = CityConfig(name="t", n_regions=25, landuse_categories=12,
+                            total_trips=5000, poi_total=1500)
+        city = generate_city(config, seed=1)
+        views = city.views()
+        assert views.names == ("mobility", "poi", "landuse")
+        # Mobility features concatenate outflow and inflow profiles (2n).
+        assert views.dims() == [50, 26, 12]
+        assert views.raw is not None
+        assert (views.raw[0] == city.mobility.matrix).all()
+
+    def test_summary_statistics(self):
+        config = CityConfig(name="t", n_regions=25, total_trips=5000, poi_total=1500)
+        summary = generate_city(config, seed=1).summary()
+        assert summary["regions"] == 25
+        assert summary["poi_categories"] == 26
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            CityConfig(name="bad", n_regions=2)
+        with pytest.raises(ValueError):
+            CityConfig(name="bad", n_regions=10, landuse_categories=1)
+
+
+class TestPresets:
+    def test_all_presets_listed(self):
+        assert set(available_cities()) == set(CITY_PRESETS)
+        for expected in ("nyc", "chi", "sf", "nyc_360", "manhattan", "staten_island"):
+            assert expected in CITY_PRESETS
+
+    def test_paper_table2_sizes(self):
+        assert CITY_PRESETS["nyc"].n_regions == 180
+        assert CITY_PRESETS["chi"].n_regions == 77
+        assert CITY_PRESETS["sf"].n_regions == 175
+        assert CITY_PRESETS["nyc"].landuse_categories == 11
+        assert CITY_PRESETS["chi"].landuse_categories == 12
+        assert CITY_PRESETS["sf"].landuse_categories == 23
+
+    def test_unknown_city_rejected(self):
+        with pytest.raises(KeyError):
+            load_city("boston")
+
+    def test_load_small_preset(self):
+        city = load_city("chi", seed=3)
+        assert city.n_regions == 77
+        assert city.poi_counts.shape == (77, 26)
+
+    def test_staten_island_sparser_than_manhattan(self):
+        staten = load_city("staten_island", seed=3)
+        manhattan = load_city("chi", seed=3)  # chi as a cheap dense reference
+        per_region_staten = staten.mobility.total_trips / staten.n_regions
+        per_region_dense = manhattan.mobility.total_trips / manhattan.n_regions
+        assert per_region_staten < 0.01 * per_region_dense

@@ -1,0 +1,210 @@
+"""Tests for POI / land-use / mobility / building / target generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ARCHETYPES,
+    POI_CATEGORIES,
+    compatibility_matrix,
+    generate_buildings,
+    generate_geometry,
+    generate_landuse_counts,
+    generate_latent,
+    generate_mobility,
+    generate_poi_counts,
+    generate_targets,
+    landuse_loading_matrix,
+    poi_affinity_matrix,
+)
+
+
+@pytest.fixture
+def small_city(rng):
+    geo = generate_geometry(40, rng)
+    latent = generate_latent(geo, rng)
+    return geo, latent
+
+
+class TestPOIs:
+    def test_shape_and_nonnegative(self, small_city, rng):
+        _, latent = small_city
+        pois = generate_poi_counts(latent, rng)
+        assert pois.shape == (40, 26)
+        assert (pois >= 0).all()
+
+    def test_total_close_to_target(self, small_city, rng):
+        _, latent = small_city
+        pois = generate_poi_counts(latent, rng, target_total=10000)
+        assert abs(pois.sum() - 10000) < 500
+
+    def test_affinity_matrix_shape(self):
+        affinity = poi_affinity_matrix()
+        assert affinity.shape == (len(POI_CATEGORIES), len(ARCHETYPES))
+        assert (affinity >= 0).all()
+
+    def test_nightlife_tracks_entertainment(self):
+        # Large sample so category/archetype correlations are stable.
+        rng = np.random.default_rng(99)
+        geo = generate_geometry(200, rng)
+        latent = generate_latent(geo, rng)
+        pois = generate_poi_counts(latent, np.random.default_rng(100), target_total=200000)
+        bars = pois[:, POI_CATEGORIES.index("bar")] + pois[:, POI_CATEGORIES.index("nightclub")]
+        ent = latent.archetype_share("entertainment")
+        res = latent.archetype_share("residential")
+        # Entertainment share explains nightlife POIs better than
+        # residential share does (affinity 1.2-1.4 vs 0.0-0.1).
+        assert np.corrcoef(bars, ent)[0, 1] > np.corrcoef(bars, res)[0, 1] + 0.2
+
+    def test_invalid_total_rejected(self, small_city, rng):
+        _, latent = small_city
+        with pytest.raises(ValueError):
+            generate_poi_counts(latent, rng, target_total=0)
+
+
+class TestLandUse:
+    def test_shape(self, small_city, rng):
+        _, latent = small_city
+        landuse = generate_landuse_counts(latent, rng, n_categories=11)
+        assert landuse.shape == (40, 11)
+        assert (landuse >= 0).all()
+
+    def test_category_count_respected(self, small_city, rng):
+        _, latent = small_city
+        for n_cats in (11, 12, 23):
+            assert generate_landuse_counts(latent, rng, n_categories=n_cats).shape[1] == n_cats
+
+    def test_loading_matrix_covers_archetypes(self, rng):
+        loading = landuse_loading_matrix(23, rng)
+        # Every archetype must be the primary of at least one category.
+        primary = loading.argmax(axis=0)
+        assert loading.shape == (23, len(ARCHETYPES))
+        assert (loading.max(axis=0) > 0.5).all()
+
+    def test_too_few_categories_rejected(self, small_city, rng):
+        _, latent = small_city
+        with pytest.raises(ValueError):
+            generate_landuse_counts(latent, rng, n_categories=2)
+
+
+class TestMobility:
+    def test_matrix_shape_and_scale(self, small_city, rng):
+        geo, latent = small_city
+        mob = generate_mobility(geo, latent, rng, total_trips=50000)
+        assert mob.matrix.shape == (40, 40)
+        assert (mob.matrix >= 0).all()
+        assert abs(mob.total_trips - 50000) / 50000 < 0.2
+
+    def test_hourly_sums_to_matrix(self, small_city, rng):
+        geo, latent = small_city
+        mob = generate_mobility(geo, latent, rng, total_trips=20000)
+        assert mob.hourly.shape == (24, 40, 40)
+        # Stochastic rounding keeps the totals within ~1 trip per cell.
+        assert abs(mob.hourly.sum() - mob.matrix.sum()) < 0.05 * mob.matrix.sum() + 1600
+
+    def test_distance_decay(self, small_city):
+        geo, latent = small_city
+        mob = generate_mobility(geo, latent, np.random.default_rng(3),
+                                total_trips=1e6, noise_level=0.0)
+        d = geo.distances
+        near = (d > 0) & (d < np.quantile(d[d > 0], 0.2))
+        far = d > np.quantile(d, 0.8)
+        assert mob.matrix[near].mean() > mob.matrix[far].mean()
+
+    def test_compatibility_matrix_positive(self):
+        compat = compatibility_matrix()
+        assert compat.shape == (len(ARCHETYPES), len(ARCHETYPES))
+        assert (compat > 0).all()
+        # Commuting residential -> office must be among the strongest.
+        idx_r = ARCHETYPES.index("residential")
+        idx_o = ARCHETYPES.index("office")
+        assert compat[idx_r, idx_o] == compat.max()
+
+    def test_inflow_outflow_consistency(self, small_city, rng):
+        geo, latent = small_city
+        mob = generate_mobility(geo, latent, rng, total_trips=10000)
+        assert mob.outflow().sum() == pytest.approx(mob.matrix.sum())
+        assert mob.inflow().sum() == pytest.approx(mob.matrix.sum())
+
+    def test_invalid_trip_total(self, small_city, rng):
+        geo, latent = small_city
+        with pytest.raises(ValueError):
+            generate_mobility(geo, latent, rng, total_trips=0)
+
+    def test_large_volume_normal_approximation(self, small_city, rng):
+        geo, latent = small_city
+        mob = generate_mobility(geo, latent, rng, total_trips=5e9)
+        assert np.isfinite(mob.matrix).all()
+        assert (mob.matrix >= 0).all()
+
+
+class TestBuildings:
+    def test_groups_per_region(self, small_city, rng):
+        _, latent = small_city
+        buildings = generate_buildings(latent, rng)
+        assert buildings.n_regions == 40
+        assert all(len(g) >= 1 for g in buildings.group_features)
+
+    def test_stacked_alignment(self, small_city, rng):
+        _, latent = small_city
+        buildings = generate_buildings(latent, rng)
+        features, index = buildings.stacked()
+        assert len(features) == len(index)
+        assert set(index) == set(range(40))
+
+    def test_weak_functional_signal(self, small_city, rng):
+        # Building features must NOT separate functionality strongly:
+        # correlation of any feature with any archetype stays modest.
+        _, latent = small_city
+        buildings = generate_buildings(latent, rng, functional_signal=0.25)
+        features, index = buildings.stacked()
+        region_means = np.stack([features[index == i].mean(axis=0) for i in range(40)])
+        best = 0.0
+        for a in range(latent.functionality.shape[1]):
+            for f in range(region_means.shape[1]):
+                best = max(best, abs(np.corrcoef(latent.functionality[:, a],
+                                                 region_means[:, f])[0, 1]))
+        assert best < 0.85
+
+
+class TestTargets:
+    def test_shapes_and_nonnegative(self, small_city, rng):
+        geo, latent = small_city
+        mob = generate_mobility(geo, latent, rng, total_trips=100000)
+        targets = generate_targets(latent, mob, rng)
+        for task in ("checkin", "crime", "service_call"):
+            values = targets.task(task)
+            assert values.shape == (40,)
+            assert (values >= 0).all()
+
+    def test_checkin_tracks_inflow(self, small_city, rng):
+        geo, latent = small_city
+        mob = generate_mobility(geo, latent, rng, total_trips=100000)
+        targets = generate_targets(latent, mob, rng)
+        assert np.corrcoef(targets.checkin, mob.inflow())[0, 1] > 0.5
+
+    def test_service_tracks_population(self, small_city, rng):
+        geo, latent = small_city
+        mob = generate_mobility(geo, latent, rng, total_trips=100000)
+        targets = generate_targets(latent, mob, rng)
+        assert np.corrcoef(targets.service_call, latent.population)[0, 1] > 0.5
+
+    def test_train_checkin_matrix_shape(self, small_city, rng):
+        geo, latent = small_city
+        mob = generate_mobility(geo, latent, rng, total_trips=100000)
+        targets = generate_targets(latent, mob, rng)
+        assert targets.checkin_categories_train.shape == (40, 10)
+
+    def test_train_period_differs_from_eval(self, small_city, rng):
+        geo, latent = small_city
+        mob = generate_mobility(geo, latent, rng, total_trips=100000)
+        targets = generate_targets(latent, mob, rng)
+        train_total = targets.checkin_categories_train.sum(axis=1)
+        assert not np.allclose(train_total, targets.checkin)
+
+    def test_unknown_task_rejected(self, small_city, rng):
+        geo, latent = small_city
+        mob = generate_mobility(geo, latent, rng, total_trips=10000)
+        targets = generate_targets(latent, mob, rng)
+        with pytest.raises(KeyError):
+            targets.task("population")

@@ -1,0 +1,107 @@
+"""Tests for region geometry and the latent functionality model."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.data import ARCHETYPES, generate_geometry, generate_latent
+
+
+class TestGeometry:
+    def test_centroid_count(self, rng):
+        geo = generate_geometry(50, rng)
+        assert geo.centroids.shape == (50, 2)
+        assert geo.n_regions == 50
+
+    def test_positive_areas(self, rng):
+        geo = generate_geometry(30, rng)
+        assert (geo.areas > 0).all()
+
+    def test_distance_matrix_properties(self, rng):
+        geo = generate_geometry(20, rng)
+        assert np.allclose(np.diag(geo.distances), 0.0)
+        assert np.allclose(geo.distances, geo.distances.T)
+        assert (geo.distances >= 0).all()
+
+    def test_triangle_inequality_sampled(self, rng):
+        geo = generate_geometry(15, rng)
+        d = geo.distances
+        for _ in range(30):
+            i, j, k = rng.integers(0, 15, 3)
+            assert d[i, k] <= d[i, j] + d[j, k] + 1e-9
+
+    def test_adjacency_is_connected(self, rng):
+        geo = generate_geometry(64, rng)
+        assert nx.is_connected(geo.adjacency)
+
+    def test_adjacency_matrix_symmetric_no_self_loops(self, rng):
+        geo = generate_geometry(25, rng)
+        adj = geo.adjacency_matrix()
+        assert np.allclose(adj, adj.T)
+        assert np.allclose(np.diag(adj), 0.0)
+
+    def test_neighbors_sorted(self, rng):
+        geo = generate_geometry(25, rng)
+        nbrs = geo.neighbors(0)
+        assert nbrs == sorted(nbrs)
+        assert len(nbrs) >= 1
+
+    def test_tiny_city_fallback(self, rng):
+        geo = generate_geometry(3, rng)
+        assert nx.is_connected(geo.adjacency)
+
+    def test_invalid_region_count(self, rng):
+        with pytest.raises(ValueError):
+            generate_geometry(0, rng)
+
+
+class TestLatent:
+    def test_mixtures_are_distributions(self, rng):
+        geo = generate_geometry(40, rng)
+        latent = generate_latent(geo, rng)
+        assert latent.functionality.shape == (40, len(ARCHETYPES))
+        assert (latent.functionality >= 0).all()
+        assert np.allclose(latent.functionality.sum(axis=1), 1.0)
+
+    def test_population_positive(self, rng):
+        geo = generate_geometry(40, rng)
+        latent = generate_latent(geo, rng)
+        assert (latent.population > 0).all()
+
+    def test_suburban_less_dense(self, rng):
+        geo = generate_geometry(60, rng)
+        dense = generate_latent(geo, np.random.default_rng(1), density_profile="dense")
+        sub = generate_latent(geo, np.random.default_rng(1), density_profile="suburban")
+        assert sub.population.mean() < 0.5 * dense.population.mean()
+
+    def test_suburban_is_residential_heavy(self, rng):
+        geo = generate_geometry(60, rng)
+        sub = generate_latent(geo, rng, density_profile="suburban")
+        shares = sub.functionality.mean(axis=0)
+        assert shares[ARCHETYPES.index("residential")] > shares[ARCHETYPES.index("entertainment")]
+
+    def test_unknown_profile_rejected(self, rng):
+        geo = generate_geometry(10, rng)
+        with pytest.raises(ValueError):
+            generate_latent(geo, rng, density_profile="rural")
+
+    def test_spatial_autocorrelation(self, rng):
+        # Nearby regions should have more similar functionality than
+        # distant ones (smooth archetype fields).
+        geo = generate_geometry(100, rng)
+        latent = generate_latent(geo, rng)
+        f = latent.functionality
+        d = geo.distances
+        sim = f @ f.T
+        near = d < np.quantile(d[d > 0], 0.1)
+        far = d > np.quantile(d, 0.9)
+        np.fill_diagonal(near, False)
+        assert sim[near].mean() > sim[far].mean()
+
+    def test_archetype_share_lookup(self, rng):
+        geo = generate_geometry(10, rng)
+        latent = generate_latent(geo, rng)
+        share = latent.archetype_share("residential")
+        assert share.shape == (10,)
+        with pytest.raises(ValueError):
+            latent.archetype_share("nonexistent")

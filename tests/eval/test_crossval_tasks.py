@@ -1,0 +1,149 @@
+"""Tests for cross-validation, task evaluation, and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.data import CityConfig, generate_city
+from repro.eval import (
+    KFold,
+    cross_validated_regression,
+    evaluate_all_tasks,
+    evaluate_embeddings,
+    format_metric_block,
+    format_table,
+    markdown_table,
+)
+
+
+class TestKFold:
+    def test_partition_covers_everything_once(self):
+        seen = []
+        for train, test in KFold(5, seed=1).split(23):
+            seen.extend(test.tolist())
+            assert set(train) | set(test) == set(range(23))
+            assert not set(train) & set(test)
+        assert sorted(seen) == list(range(23))
+
+    def test_fold_sizes_balanced(self):
+        sizes = [len(test) for _, test in KFold(10, seed=0).split(77)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_deterministic_given_seed(self):
+        a = [test.tolist() for _, test in KFold(4, seed=9).split(20)]
+        b = [test.tolist() for _, test in KFold(4, seed=9).split(20)]
+        assert a == b
+
+    def test_different_seed_shuffles(self):
+        a = [test.tolist() for _, test in KFold(4, seed=1).split(20)]
+        b = [test.tolist() for _, test in KFold(4, seed=2).split(20)]
+        assert a != b
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            list(KFold(10).split(5))
+
+    def test_bad_n_splits_rejected(self):
+        with pytest.raises(ValueError):
+            KFold(1)
+
+
+class TestCrossValidatedRegression:
+    def test_strong_linear_signal(self, rng):
+        x = rng.standard_normal((100, 5))
+        y = x @ np.array([3.0, -1.0, 2.0, 0.0, 0.0]) * 50 + 500
+        metrics = cross_validated_regression(x, y)
+        assert metrics.mean["r2"] > 0.95
+
+    def test_pure_noise_has_low_r2(self, rng):
+        x = rng.standard_normal((100, 5))
+        y = rng.standard_normal(100)
+        metrics = cross_validated_regression(x, y)
+        assert metrics.mean["r2"] < 0.3
+
+    def test_format_string(self, rng):
+        x = rng.standard_normal((50, 3))
+        y = x[:, 0] * 10
+        metrics = cross_validated_regression(x, y)
+        formatted = metrics.format("r2")
+        assert "±" in formatted
+
+    def test_custom_model_factory(self, rng):
+        class MeanModel:
+            def fit(self, x, y):
+                self.mean = y.mean()
+                return self
+
+            def predict(self, x):
+                return np.full(len(x), self.mean)
+
+        x = rng.standard_normal((60, 3))
+        y = x[:, 0] * 10 + 5
+        metrics = cross_validated_regression(x, y, model_factory=MeanModel)
+        assert abs(metrics.mean["r2"]) < 0.3  # mean model ~ R2 0
+
+    def test_row_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            cross_validated_regression(rng.standard_normal((10, 2)),
+                                       rng.standard_normal(9))
+
+    def test_per_fold_count(self, rng):
+        x = rng.standard_normal((40, 3))
+        y = x[:, 0]
+        metrics = cross_validated_regression(x, y, n_splits=4)
+        assert len(metrics.per_fold) == 4
+
+
+class TestTaskEvaluation:
+    @pytest.fixture(scope="class")
+    def city(self):
+        return generate_city(CityConfig(name="t", n_regions=30,
+                                        total_trips=200000, poi_total=3000), seed=2)
+
+    def test_evaluate_single_task(self, city, rng):
+        emb = rng.standard_normal((30, 8))
+        result = evaluate_embeddings(emb, city, "crime")
+        assert result.task == "crime"
+        assert result.seconds > 0
+        assert np.isfinite(result.r2)
+        assert result.mae > 0 and result.rmse > 0
+
+    def test_informative_embedding_beats_noise(self, city, rng):
+        noise = rng.standard_normal((30, 8))
+        informative = np.column_stack([
+            city.mobility.inflow(), city.latent.population,
+            city.latent.functionality,
+        ])
+        r2_noise = evaluate_embeddings(noise, city, "checkin").r2
+        r2_info = evaluate_embeddings(informative, city, "checkin").r2
+        assert r2_info > r2_noise
+
+    def test_all_tasks(self, city, rng):
+        results = evaluate_all_tasks(rng.standard_normal((30, 8)), city)
+        assert set(results) == {"checkin", "crime", "service_call"}
+
+    def test_unknown_task_rejected(self, city, rng):
+        with pytest.raises(KeyError):
+            evaluate_embeddings(rng.standard_normal((30, 8)), city, "noise")
+
+    def test_wrong_row_count_rejected(self, city, rng):
+        with pytest.raises(ValueError):
+            evaluate_embeddings(rng.standard_normal((29, 8)), city, "crime")
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", 1], ["yyy", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_markdown_table(self):
+        text = markdown_table(["m", "r2"], [["hafusion", 0.84]])
+        assert text.startswith("| m | r2 |")
+        assert "| hafusion | 0.84 |" in text
+
+    def test_format_metric_block_with_floats(self):
+        text = format_metric_block({"model_a": {"mae": 1.0, "rmse": 2.0, "r2": 0.5}})
+        assert "model_a" in text
+        assert "MAE" in text and "R2" in text

@@ -1,0 +1,116 @@
+"""Tests for metrics and the coordinate-descent Lasso."""
+
+import numpy as np
+import pytest
+
+from repro.eval import Lasso, mae, r2_score, regression_report, rmse
+
+
+class TestMetrics:
+    def test_perfect_prediction(self, rng):
+        y = rng.standard_normal(20)
+        assert mae(y, y) == 0.0
+        assert rmse(y, y) == 0.0
+        assert r2_score(y, y) == 1.0
+
+    def test_mae_known_value(self):
+        assert mae([0.0, 0.0], [1.0, 3.0]) == 2.0
+
+    def test_rmse_known_value(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_rmse_at_least_mae(self, rng):
+        y, p = rng.standard_normal(50), rng.standard_normal(50)
+        assert rmse(y, p) >= mae(y, p)
+
+    def test_r2_of_mean_prediction_is_zero(self, rng):
+        y = rng.standard_normal(30)
+        assert r2_score(y, np.full(30, y.mean())) == pytest.approx(0.0)
+
+    def test_r2_can_be_negative(self):
+        assert r2_score([1.0, 2.0, 3.0], [10.0, 10.0, 10.0]) < 0.0
+
+    def test_constant_target_edge_case(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [3.0, 3.0]) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mae([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rmse([], [])
+
+    def test_report_contains_all(self, rng):
+        y, p = rng.standard_normal(20), rng.standard_normal(20)
+        report = regression_report(y, p)
+        assert set(report) == {"mae", "rmse", "r2"}
+
+
+class TestLasso:
+    def test_recovers_sparse_signal(self, rng):
+        x = rng.standard_normal((200, 20))
+        true_w = np.zeros(20)
+        true_w[:3] = [4.0, -2.0, 3.0]
+        y = x @ true_w + rng.normal(0, 0.1, 200)
+        model = Lasso(alpha=0.05, standardize=True).fit(x, y)
+        assert np.allclose(model.coef_[:3], true_w[:3], atol=0.2)
+        assert np.abs(model.coef_[3:]).max() < 0.1
+
+    def test_intercept_recovered(self, rng):
+        x = rng.standard_normal((100, 5))
+        y = x[:, 0] * 2 + 7.5 + rng.normal(0, 0.01, 100)
+        model = Lasso(alpha=0.01).fit(x, y)
+        assert model.intercept_ == pytest.approx(7.5, abs=0.2)
+
+    def test_huge_alpha_gives_zero_coefficients(self, rng):
+        x = rng.standard_normal((50, 5))
+        y = x[:, 0] + rng.normal(0, 0.1, 50)
+        model = Lasso(alpha=1e6).fit(x, y)
+        assert np.allclose(model.coef_, 0.0)
+        assert model.intercept_ == pytest.approx(y.mean())
+
+    def test_zero_alpha_matches_least_squares(self, rng):
+        x = rng.standard_normal((80, 4))
+        y = x @ np.array([1.0, -2.0, 0.5, 3.0]) + 2.0
+        model = Lasso(alpha=0.0, max_iter=5000, tol=1e-12).fit(x, y)
+        design = np.column_stack([x, np.ones(80)])
+        ols = np.linalg.lstsq(design, y, rcond=None)[0]
+        assert np.allclose(model.coef_, ols[:4], atol=1e-5)
+
+    def test_standardization_invariance_of_predictions(self, rng):
+        # Scaled features should not change predictions when standardizing.
+        x = rng.standard_normal((60, 4))
+        y = x[:, 0] * 3 + rng.normal(0, 0.1, 60)
+        scaled = x * np.array([1.0, 10.0, 0.1, 100.0])
+        a = Lasso(alpha=0.1, standardize=True).fit(x, y).predict(x)
+        b = Lasso(alpha=0.1, standardize=True).fit(scaled, y).predict(scaled)
+        assert np.allclose(a, b, atol=1e-6)
+
+    def test_constant_feature_ignored(self, rng):
+        x = rng.standard_normal((50, 3))
+        x[:, 1] = 5.0
+        y = x[:, 0] + rng.normal(0, 0.05, 50)
+        model = Lasso(alpha=0.01).fit(x, y)
+        assert model.coef_[1] == 0.0
+
+    def test_default_is_sklearn_parity(self):
+        # The paper uses sklearn's Lasso(alpha=1), which does not
+        # standardize; our default must match.
+        assert Lasso().standardize is False
+        assert Lasso().alpha == 1.0
+
+    def test_predict_before_fit_rejected(self, rng):
+        with pytest.raises(RuntimeError):
+            Lasso().predict(rng.standard_normal((5, 3)))
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            Lasso(alpha=-1.0)
+
+    def test_dimension_checks(self, rng):
+        with pytest.raises(ValueError):
+            Lasso().fit(rng.standard_normal(10), rng.standard_normal(10))
+        with pytest.raises(ValueError):
+            Lasso().fit(rng.standard_normal((10, 2)), rng.standard_normal(9))

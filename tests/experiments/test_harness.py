@@ -1,0 +1,190 @@
+"""Tests for the experiment harness: profiles, caching, registry,
+formatters. Heavy paper-scale runs live in benchmarks/, not here."""
+
+import numpy as np
+import pytest
+
+from repro.data import CityConfig, generate_city
+from repro.eval.crossval import FoldedMetrics
+from repro.eval.tasks import TaskResult
+from repro.experiments import (
+    EXPERIMENTS,
+    MODEL_ORDER,
+    PROFILES,
+    available_experiments,
+    compute_embeddings,
+    evaluate_model,
+    get_profile,
+    run_experiment,
+)
+from repro.experiments.common import ExperimentProfile
+
+
+@pytest.fixture(scope="module")
+def tiny_city():
+    return generate_city(CityConfig(name="tiny", n_regions=20,
+                                    total_trips=40000, poi_total=1500), seed=9)
+
+
+@pytest.fixture
+def tiny_profile():
+    return ExperimentProfile("test", hafusion_epochs=3, baseline_epochs=3,
+                             seed=9, n_splits=4)
+
+
+class TestProfiles:
+    def test_known_tiers(self):
+        assert set(PROFILES) == {"smoke", "quick", "full"}
+        assert PROFILES["full"].hafusion_epochs == 2500  # the paper's schedule
+
+    def test_get_profile_passthrough(self, tiny_profile):
+        assert get_profile(tiny_profile) is tiny_profile
+        assert get_profile("smoke").name == "smoke"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError):
+            get_profile("turbo")
+
+
+class TestComputeEmbeddings:
+    def test_hafusion_tiny(self, tiny_city, tiny_profile):
+        result = compute_embeddings(
+            "hafusion", tiny_city, profile=tiny_profile, use_cache=False,
+            config_overrides={"d": 16, "d_prime": 8, "conv_channels": 2,
+                              "memory_size": 4, "num_heads": 2,
+                              "intra_layers": 1, "inter_layers": 1,
+                              "fusion_layers": 1})
+        assert result.embeddings.shape == (20, 16)
+        assert result.train_seconds > 0
+        assert not result.from_cache
+
+    def test_baseline_tiny(self, tiny_city, tiny_profile):
+        result = compute_embeddings("mvure", tiny_city, profile=tiny_profile,
+                                    use_cache=False, config_overrides={"d": 8})
+        assert result.embeddings.shape == (20, 8)
+
+    def test_view_subset_override(self, tiny_city, tiny_profile):
+        result = compute_embeddings(
+            "hafusion", tiny_city, profile=tiny_profile, use_cache=False,
+            config_overrides={"d": 16, "d_prime": 8, "conv_channels": 2,
+                              "memory_size": 4, "num_heads": 2,
+                              "intra_layers": 1, "inter_layers": 1,
+                              "fusion_layers": 1,
+                              "view_names": ["poi", "landuse"]})
+        assert result.embeddings.shape == (20, 16)
+
+    def test_cache_roundtrip(self, tiny_city, tiny_profile, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        overrides = {"d": 8}
+        first = compute_embeddings("mvure", tiny_city, profile=tiny_profile,
+                                   use_cache=True, config_overrides=overrides)
+        second = compute_embeddings("mvure", tiny_city, profile=tiny_profile,
+                                    use_cache=True, config_overrides=overrides)
+        assert not first.from_cache
+        assert second.from_cache
+        assert np.allclose(first.embeddings, second.embeddings)
+        assert second.train_seconds == pytest.approx(first.train_seconds)
+
+    def test_cache_key_distinguishes_overrides(self, tiny_city, tiny_profile,
+                                               tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        a = compute_embeddings("mvure", tiny_city, profile=tiny_profile,
+                               use_cache=True, config_overrides={"d": 8})
+        b = compute_embeddings("mvure", tiny_city, profile=tiny_profile,
+                               use_cache=True, config_overrides={"d": 16})
+        assert not b.from_cache
+        assert a.embeddings.shape != b.embeddings.shape
+
+    def test_embeddings_are_float32_trained(self, tiny_city, tiny_profile):
+        result = compute_embeddings("mvure", tiny_city, profile=tiny_profile,
+                                    use_cache=False, config_overrides={"d": 8})
+        assert result.embeddings.dtype == np.float32
+
+
+class TestEvaluateModel:
+    def test_standard_model_uses_plain_lasso(self, tiny_city, tiny_profile):
+        from repro.experiments.common import EmbeddingResult
+        rng = np.random.default_rng(0)
+        emb = EmbeddingResult("mvure", "tiny", rng.standard_normal((20, 8)), 1.0, 3)
+        result = evaluate_model(emb, tiny_city, "crime", profile=tiny_profile)
+        assert result.task == "crime"
+
+    def test_hrep_uses_prompted_regressor(self, tiny_city, tiny_profile):
+        from repro.experiments.common import EmbeddingResult
+        rng = np.random.default_rng(0)
+        emb_h = EmbeddingResult("hrep", "tiny", rng.standard_normal((20, 8)), 1.0, 3)
+        emb_p = EmbeddingResult("mvure", "tiny", rng.standard_normal((20, 8)), 1.0, 3)
+        slow = evaluate_model(emb_h, tiny_city, "crime", profile=tiny_profile)
+        fast = evaluate_model(emb_p, tiny_city, "crime", profile=tiny_profile)
+        assert slow.seconds > fast.seconds  # prompt learning overhead
+
+
+class TestRegistry:
+    def test_every_paper_artifact_present(self):
+        assert set(available_experiments()) == {
+            "table3", "table4", "table5", "table6", "table7",
+            "fig6", "fig7", "fig8", "fig9",
+        }
+
+    def test_specs_have_runner_and_formatter(self):
+        for spec in EXPERIMENTS.values():
+            assert callable(spec.runner)
+            assert callable(spec.formatter)
+            assert spec.paper_artifact
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99")
+
+    def test_model_order_matches_paper(self):
+        assert MODEL_ORDER == ("mvure", "mgfn", "region_dcl", "hrep", "hafusion")
+
+
+def _fake_task_result(task, mae=10.0, rmse=12.0, r2=0.5):
+    metrics = FoldedMetrics(mean={"mae": mae, "rmse": rmse, "r2": r2},
+                            std={"mae": 1.0, "rmse": 1.0, "r2": 0.01},
+                            per_fold=[])
+    return TaskResult(task=task, metrics=metrics, seconds=0.01)
+
+
+class TestFormatters:
+    def test_format_table3(self):
+        from repro.experiments.overall import TASKS, format_table3
+        models = ("mvure", "hafusion")
+        cities = ("nyc",)
+        results = {t: {"nyc": {"mvure": _fake_task_result(t, 20, 25, 0.4),
+                               "hafusion": _fake_task_result(t, 10, 12, 0.6)}}
+                   for t in TASKS}
+        text = format_table3({"results": results, "cities": cities,
+                              "models": models, "profile": "test"})
+        assert "HAFusion" in text and "Improvement" in text
+        assert "Table III" in text
+
+    def test_improvement_computation(self):
+        from repro.experiments.overall import improvement_over_best_baseline
+        per_model = {"mvure": _fake_task_result("crime", 20, 25, 0.4),
+                     "hafusion": _fake_task_result("crime", 10, 12, 0.6)}
+        assert improvement_over_best_baseline(per_model, "mae") == pytest.approx(50.0)
+        assert improvement_over_best_baseline(per_model, "r2") == pytest.approx(50.0)
+
+    def test_format_table6(self):
+        from repro.experiments.ablation import format_table6
+        results = {"HAFusion": {t: _fake_task_result(t)
+                                for t in ("checkin", "crime", "service_call")}}
+        text = format_table6({"results": results, "profile": "t", "city": "nyc"})
+        assert "Table VI" in text
+
+    def test_format_fig8(self):
+        from repro.experiments.density import format_fig8
+        results = {m: {"manhattan": 0.8, "staten_island": 0.3}
+                   for m in MODEL_ORDER}
+        text = format_fig8({"results": results, "profile": "t",
+                            "areas": ("manhattan", "staten_island"),
+                            "models": MODEL_ORDER})
+        assert "+0.500" in text  # the drop column
+
+    def test_cli_list(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "fig9" in out

@@ -1,0 +1,53 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestXavier:
+    def test_uniform_bounds(self, rng):
+        w = init.xavier_uniform((64, 32), rng)
+        bound = np.sqrt(6.0 / (64 + 32))
+        assert w.shape == (64, 32)
+        assert np.abs(w).max() <= bound
+
+    def test_uniform_variance(self, rng):
+        w = init.xavier_uniform((400, 300), rng)
+        expected_var = 2.0 / (400 + 300)
+        assert w.var() == pytest.approx(expected_var, rel=0.1)
+
+    def test_normal_std(self, rng):
+        w = init.xavier_normal((400, 300), rng)
+        expected_std = np.sqrt(2.0 / (400 + 300))
+        assert w.std() == pytest.approx(expected_std, rel=0.1)
+
+    def test_conv_fan_includes_receptive_field(self, rng):
+        w = init.xavier_uniform((16, 8, 3, 3), rng)
+        bound = np.sqrt(6.0 / (8 * 9 + 16 * 9))
+        assert np.abs(w).max() <= bound
+
+    def test_1d_shape_rejected(self, rng):
+        with pytest.raises(ValueError):
+            init.xavier_uniform((10,), rng)
+
+
+class TestOthers:
+    def test_kaiming_uniform_bounds(self, rng):
+        w = init.kaiming_uniform((64, 32), rng)
+        assert w.shape == (64, 32)
+        assert np.isfinite(w).all()
+
+    def test_zeros_ones(self):
+        assert (init.zeros((3, 2)) == 0).all()
+        assert (init.ones((4,)) == 1).all()
+
+    def test_normal_scale(self, rng):
+        w = init.normal((500, 20), rng, std=0.05)
+        assert w.std() == pytest.approx(0.05, rel=0.15)
+
+    def test_determinism(self):
+        a = init.xavier_uniform((8, 8), np.random.default_rng(3))
+        b = init.xavier_uniform((8, 8), np.random.default_rng(3))
+        assert np.allclose(a, b)

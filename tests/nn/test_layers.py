@@ -1,0 +1,150 @@
+"""Tests for Linear / MLP / LayerNorm / Dropout / module system."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    Dropout,
+    Identity,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    Sequential,
+    Tensor,
+)
+from repro.nn.gradcheck import check_gradients
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        out = layer(Tensor(rng.standard_normal((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_batched_input(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        out = layer(Tensor(rng.standard_normal((2, 5, 4))))
+        assert out.shape == (2, 5, 3)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradients(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        check_gradients(lambda: (layer(x) ** 2.0).sum(), [x, layer.weight, layer.bias])
+
+    def test_deterministic_given_rng(self):
+        a = Linear(4, 3, rng=np.random.default_rng(0))
+        b = Linear(4, 3, rng=np.random.default_rng(0))
+        assert np.allclose(a.weight.data, b.weight.data)
+
+
+class TestMLP:
+    def test_single_layer_when_no_hidden(self, rng):
+        mlp = MLP(4, 3, rng=rng)
+        assert mlp.fc2 is None
+        assert mlp(Tensor(rng.standard_normal((2, 4)))).shape == (2, 3)
+
+    def test_two_layer(self, rng):
+        mlp = MLP(4, 3, hidden_features=8, rng=rng)
+        assert mlp(Tensor(rng.standard_normal((2, 4)))).shape == (2, 3)
+
+    def test_unknown_activation_raises(self, rng):
+        with pytest.raises(ValueError):
+            MLP(4, 3, activation="swishy", rng=rng)
+
+    def test_gradients(self, rng):
+        mlp = MLP(3, 2, hidden_features=5, activation="tanh", rng=rng)
+        x = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        check_gradients(lambda: (mlp(x) ** 2.0).sum(), [x] + mlp.parameters())
+
+
+class TestLayerNorm:
+    def test_normalizes_rows(self, rng):
+        ln = LayerNorm(6)
+        out = ln(Tensor(rng.standard_normal((4, 6)) * 10 + 5))
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gradients(self, rng):
+        ln = LayerNorm(4)
+        x = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        weights = rng.standard_normal((3, 4))
+        check_gradients(lambda: (ln(x) * weights).sum(), [x, ln.gamma, ln.beta])
+
+    def test_3d_input(self, rng):
+        ln = LayerNorm(4)
+        out = ln(Tensor(rng.standard_normal((2, 3, 4))))
+        assert out.shape == (2, 3, 4)
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-6)
+
+
+class TestDropout:
+    def test_train_vs_eval(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = Tensor(np.ones((50, 50)))
+        train_out = layer(x)
+        layer.eval()
+        eval_out = layer(x)
+        assert (train_out.data == 0).any()
+        assert np.allclose(eval_out.data, 1.0)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)
+
+
+class TestModuleSystem:
+    def test_parameter_collection_nested(self, rng):
+        model = Sequential(Linear(4, 8, rng=rng), Identity(), Linear(8, 2, rng=rng))
+        assert len(model.parameters()) == 4
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_named_parameters_unique_names(self, rng):
+        model = Sequential(Linear(4, 4, rng=rng), Linear(4, 4, rng=rng))
+        names = [name for name, _ in model.named_parameters()]
+        assert len(names) == len(set(names)) == 4
+
+    def test_train_eval_propagates(self, rng):
+        model = Sequential(Dropout(0.5), Linear(4, 2, rng=rng))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        out = layer(Tensor(rng.standard_normal((2, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self, rng):
+        a = Linear(3, 2, rng=np.random.default_rng(1))
+        b = Linear(3, 2, rng=np.random.default_rng(2))
+        assert not np.allclose(a.weight.data, b.weight.data)
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.weight.data, b.weight.data)
+
+    def test_load_state_dict_rejects_mismatch(self, rng):
+        a = Linear(3, 2, rng=rng)
+        with pytest.raises(KeyError):
+            a.load_state_dict({"weight": a.weight.data})
+        state = a.state_dict()
+        state["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+    def test_parameter_is_tensor_with_grad(self):
+        p = Parameter(np.zeros(3))
+        assert p.requires_grad

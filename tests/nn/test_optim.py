@@ -1,0 +1,113 @@
+"""Tests for optimizers and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Linear, Parameter, Tensor, clip_grad_norm
+
+
+def _quadratic_param():
+    return Parameter(np.array([5.0, -3.0]))
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = _quadratic_param()
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            loss = (p * p).sum()
+            loss.backward()
+            opt.step()
+        assert np.allclose(p.data, 0.0, atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        plain, momentum = _quadratic_param(), _quadratic_param()
+        opt_plain = SGD([plain], lr=0.01)
+        opt_momentum = SGD([momentum], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            for p, opt in ((plain, opt_plain), (momentum, opt_momentum)):
+                opt.zero_grad()
+                (p * p).sum().backward()
+                opt.step()
+        assert np.abs(momentum.data).sum() < np.abs(plain.data).sum()
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([_quadratic_param()], lr=0.0)
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_skips_params_without_grad(self):
+        p = _quadratic_param()
+        opt = SGD([p], lr=0.1)
+        before = p.data.copy()
+        opt.step()
+        assert np.allclose(p.data, before)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = _quadratic_param()
+        opt = Adam([p], lr=0.1)
+        for _ in range(500):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert np.allclose(p.data, 0.0, atol=1e-4)
+
+    def test_bias_correction_first_step(self):
+        # After one step with bias correction the update is ≈ lr * sign(grad).
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.01)
+        opt.zero_grad()
+        (2.0 * p).sum().backward()
+        opt.step()
+        assert p.data[0] == pytest.approx(1.0 - 0.01, abs=1e-6)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([_quadratic_param()], betas=(1.0, 0.999))
+
+    def test_trains_linear_regression(self, rng):
+        true_w = np.array([[2.0, -1.0, 0.5]])
+        x = rng.standard_normal((64, 3))
+        y = x @ true_w.T
+        layer = Linear(3, 1, rng=rng)
+        opt = Adam(layer.parameters(), lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            pred = layer(Tensor(x))
+            loss = ((pred - Tensor(y)) ** 2.0).mean()
+            loss.backward()
+            opt.step()
+        assert np.allclose(layer.weight.data, true_w, atol=0.05)
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_gradients(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 0.01)
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.allclose(p.grad, 0.01)
+
+    def test_handles_missing_grads(self):
+        p = Parameter(np.zeros(4))
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0

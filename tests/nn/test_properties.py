@@ -1,0 +1,103 @@
+"""Property-based tests (hypothesis) for the autograd engine.
+
+These check algebraic invariants that must hold for *any* input, which is
+where hand-written backward passes typically break.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+_FLOATS = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False, width=64)
+
+
+def _matrices(max_side=6):
+    return arrays(np.float64, array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=max_side),
+                  elements=_FLOATS)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_matrices())
+def test_softmax_rows_always_sum_to_one(x):
+    out = F.softmax(Tensor(x), axis=-1)
+    assert np.allclose(out.data.sum(axis=-1), 1.0, atol=1e-8)
+    assert (out.data >= 0).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(_matrices())
+def test_softmax_shift_invariance(x):
+    a = F.softmax(Tensor(x), axis=-1).data
+    b = F.softmax(Tensor(x + 3.21), axis=-1).data
+    assert np.allclose(a, b, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_matrices())
+def test_addition_gradient_is_ones(x):
+    t = Tensor(x, requires_grad=True)
+    (t + 1.5).sum().backward()
+    assert np.allclose(t.grad, 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_matrices())
+def test_sum_linear_in_scalar(x):
+    t = Tensor(x, requires_grad=True)
+    (3.0 * t).sum().backward()
+    assert np.allclose(t.grad, 3.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_matrices(max_side=5), st.integers(min_value=1, max_value=5))
+def test_matmul_identity(x, k):
+    t = Tensor(x)
+    eye = Tensor(np.eye(x.shape[1]))
+    assert np.allclose((t @ eye).data, x)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_matrices(max_side=5))
+def test_reshape_roundtrip_preserves_grad(x):
+    t = Tensor(x, requires_grad=True)
+    (t.reshape(-1).reshape(x.shape) * 2.0).sum().backward()
+    assert np.allclose(t.grad, 2.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_matrices(max_side=5))
+def test_transpose_involution(x):
+    t = Tensor(x)
+    assert np.allclose(t.T.T.data, x)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_matrices(max_side=5))
+def test_l2_normalize_is_idempotent(x):
+    row_norms = np.linalg.norm(x, axis=-1)
+    if (row_norms < 1e-4).any():
+        return  # near-zero rows are eps-clamped, not scale-invariant
+    once = F.l2_normalize(Tensor(x)).data
+    twice = F.l2_normalize(Tensor(once)).data
+    assert np.allclose(once, twice, atol=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_matrices(max_side=5))
+def test_layernorm_statistics(x):
+    if x.shape[-1] < 2 or np.any(np.std(x, axis=-1) < 1e-8):
+        return
+    from repro.nn import LayerNorm
+    out = LayerNorm(x.shape[-1])(Tensor(x)).data
+    assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_matrices(max_side=5))
+def test_cosine_similarity_bounded(x):
+    sim = F.cosine_similarity_matrix(x)
+    assert (sim <= 1.0 + 1e-7).all() and (sim >= -1.0 - 1e-7).all()

@@ -1,0 +1,299 @@
+"""Unit tests for the autograd tensor engine."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad
+from repro.nn.gradcheck import check_gradients
+
+
+def _t(rng, *shape):
+    return Tensor(rng.standard_normal(shape), requires_grad=True)
+
+
+class TestBasics:
+    def test_construction_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float64
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_item_scalar(self):
+        assert Tensor([[3.5]]).item() == 3.5
+
+    def test_detach_cuts_graph(self, rng):
+        x = _t(rng, 3)
+        y = x.detach()
+        assert not y.requires_grad
+        assert np.shares_memory(x.data, y.data)
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_backward_requires_scalar(self, rng):
+        x = _t(rng, 3)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_grad_shape_mismatch(self, rng):
+        x = _t(rng, 3)
+        y = x * 2
+        with pytest.raises(ValueError):
+            y.backward(np.ones((4,)))
+
+    def test_no_grad_blocks_graph(self, rng):
+        x = _t(rng, 3)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+
+class TestArithmeticGradients:
+    def test_add(self, rng):
+        a, b = _t(rng, 2, 3), _t(rng, 2, 3)
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_add_broadcast_row(self, rng):
+        a, b = _t(rng, 4, 3), _t(rng, 3)
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_add_broadcast_col(self, rng):
+        a, b = _t(rng, 4, 3), _t(rng, 4, 1)
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_mul(self, rng):
+        a, b = _t(rng, 2, 3), _t(rng, 2, 3)
+        check_gradients(lambda: (a * b).sum(), [a, b])
+
+    def test_mul_broadcast_scalar_tensor(self, rng):
+        a, b = _t(rng, 2, 3), _t(rng, 1)
+        check_gradients(lambda: (a * b).sum(), [a, b])
+
+    def test_sub(self, rng):
+        a, b = _t(rng, 5), _t(rng, 5)
+        check_gradients(lambda: (a - b).sum(), [a, b])
+
+    def test_div(self, rng):
+        a = _t(rng, 4)
+        b = Tensor(rng.uniform(0.5, 2.0, 4), requires_grad=True)
+        check_gradients(lambda: (a / b).sum(), [a, b])
+
+    def test_pow(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, 6), requires_grad=True)
+        check_gradients(lambda: (a ** 3.0).sum(), [a])
+
+    def test_neg(self, rng):
+        a = _t(rng, 3)
+        check_gradients(lambda: (-a).sum(), [a])
+
+    def test_radd_rmul_scalars(self, rng):
+        a = _t(rng, 3)
+        check_gradients(lambda: (2.0 + 3.0 * a).sum(), [a])
+
+    def test_rsub_rdiv(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, 3), requires_grad=True)
+        check_gradients(lambda: (1.0 - a).sum() + (2.0 / a).sum(), [a])
+
+    def test_tensor_exponent_rejected(self, rng):
+        a, b = _t(rng, 3), _t(rng, 3)
+        with pytest.raises(TypeError):
+            a ** b
+
+    def test_grad_accumulates_over_reuse(self, rng):
+        a = _t(rng, 3)
+        y = (a * a + a).sum()
+        y.backward()
+        assert np.allclose(a.grad, 2 * a.data + 1)
+
+
+class TestMatmulGradients:
+    def test_matmul_2d(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 4, 2)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_batched(self, rng):
+        a, b = _t(rng, 2, 3, 4), _t(rng, 2, 4, 5)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_broadcast_batch(self, rng):
+        a, b = _t(rng, 2, 3, 4), _t(rng, 4, 5)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_vector_right(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 4)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_vector_left(self, rng):
+        a, b = _t(rng, 4), _t(rng, 4, 3)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_rmatmul_array(self, rng):
+        a = _t(rng, 3, 2)
+        fixed = rng.standard_normal((4, 3))
+        check_gradients(lambda: (fixed @ a).sum(), [a])
+
+
+class TestUnaryGradients:
+    def test_exp(self, rng):
+        a = _t(rng, 4)
+        check_gradients(lambda: a.exp().sum(), [a])
+
+    def test_log(self, rng):
+        a = Tensor(rng.uniform(0.5, 3.0, 4), requires_grad=True)
+        check_gradients(lambda: a.log().sum(), [a])
+
+    def test_tanh(self, rng):
+        a = _t(rng, 4)
+        check_gradients(lambda: a.tanh().sum(), [a])
+
+    def test_sigmoid(self, rng):
+        a = _t(rng, 4)
+        check_gradients(lambda: a.sigmoid().sum(), [a])
+
+    def test_relu(self, rng):
+        a = Tensor(rng.uniform(0.1, 2.0, 5) * np.array([1, -1, 1, -1, 1]), requires_grad=True)
+        check_gradients(lambda: a.relu().sum(), [a])
+
+    def test_leaky_relu(self, rng):
+        a = Tensor(np.array([0.5, -0.5, 1.5, -1.5]), requires_grad=True)
+        check_gradients(lambda: a.leaky_relu(0.2).sum(), [a])
+
+    def test_abs(self, rng):
+        a = Tensor(np.array([0.5, -0.5, 1.5, -1.5]), requires_grad=True)
+        check_gradients(lambda: a.abs().sum(), [a])
+
+    def test_sqrt(self, rng):
+        a = Tensor(rng.uniform(0.5, 3.0, 4), requires_grad=True)
+        check_gradients(lambda: a.sqrt().sum(), [a])
+
+
+class TestReductionGradients:
+    def test_sum_all(self, rng):
+        a = _t(rng, 3, 4)
+        check_gradients(lambda: a.sum(), [a])
+
+    def test_sum_axis_keepdims(self, rng):
+        a = _t(rng, 3, 4)
+        check_gradients(lambda: (a.sum(axis=0, keepdims=True) ** 2.0).sum(), [a])
+
+    def test_sum_axis_no_keepdims(self, rng):
+        a = _t(rng, 3, 4)
+        check_gradients(lambda: (a.sum(axis=1) ** 2.0).sum(), [a])
+
+    def test_sum_negative_axis(self, rng):
+        a = _t(rng, 2, 3, 4)
+        check_gradients(lambda: (a.sum(axis=-1) ** 2.0).sum(), [a])
+
+    def test_mean(self, rng):
+        a = _t(rng, 3, 4)
+        check_gradients(lambda: (a.mean(axis=1) ** 2.0).sum(), [a])
+
+    def test_mean_all(self, rng):
+        a = _t(rng, 6)
+        check_gradients(lambda: a.mean() * 3.0, [a])
+
+    def test_var(self, rng):
+        a = _t(rng, 3, 4)
+        check_gradients(lambda: a.var(axis=-1).sum(), [a])
+
+    def test_max_axis(self, rng):
+        a = Tensor(rng.permutation(12).reshape(3, 4).astype(float), requires_grad=True)
+        check_gradients(lambda: a.max(axis=1).sum(), [a])
+
+    def test_max_values(self, rng):
+        a = Tensor([[1.0, 5.0], [7.0, 2.0]])
+        assert a.max(axis=1).data.tolist() == [5.0, 7.0]
+
+
+class TestShapeGradients:
+    def test_reshape(self, rng):
+        a = _t(rng, 3, 4)
+        check_gradients(lambda: (a.reshape(4, 3) ** 2.0).sum(), [a])
+
+    def test_reshape_tuple_arg(self, rng):
+        a = _t(rng, 6)
+        assert a.reshape((2, 3)).shape == (2, 3)
+
+    def test_swapaxes(self, rng):
+        a = _t(rng, 3, 4)
+        check_gradients(lambda: (a.swapaxes(0, 1) ** 2.0).sum(), [a])
+
+    def test_T_property(self, rng):
+        a = _t(rng, 3, 4)
+        assert a.T.shape == (4, 3)
+
+    def test_T_on_3d_swaps_last_two(self, rng):
+        a = _t(rng, 2, 3, 4)
+        assert a.T.shape == (2, 4, 3)
+
+    def test_transpose_axes(self, rng):
+        a = _t(rng, 2, 3, 4)
+        check_gradients(lambda: (a.transpose(2, 0, 1) ** 2.0).sum(), [a])
+
+    def test_getitem_slice(self, rng):
+        a = _t(rng, 4, 4)
+        check_gradients(lambda: (a[1:3] ** 2.0).sum(), [a])
+
+    def test_getitem_int_row(self, rng):
+        a = _t(rng, 4, 4)
+        check_gradients(lambda: (a[2] ** 2.0).sum(), [a])
+
+    def test_expand_squeeze(self, rng):
+        a = _t(rng, 3, 4)
+        check_gradients(lambda: (a.expand_dims(1).squeeze(1) ** 2.0).sum(), [a])
+
+    def test_concat(self, rng):
+        a, b = _t(rng, 2, 3), _t(rng, 4, 3)
+        check_gradients(lambda: (Tensor.concat([a, b], axis=0) ** 2.0).sum(), [a, b])
+
+    def test_concat_axis1(self, rng):
+        a, b = _t(rng, 2, 3), _t(rng, 2, 5)
+        check_gradients(lambda: (Tensor.concat([a, b], axis=1) ** 2.0).sum(), [a, b])
+
+    def test_stack(self, rng):
+        a, b = _t(rng, 2, 3), _t(rng, 2, 3)
+        check_gradients(lambda: (Tensor.stack([a, b], axis=0) ** 2.0).sum(), [a, b])
+
+    def test_stack_middle_axis(self, rng):
+        a, b = _t(rng, 2, 3), _t(rng, 2, 3)
+        out = Tensor.stack([a, b], axis=1)
+        assert out.shape == (2, 2, 3)
+
+
+class TestGraphMechanics:
+    def test_diamond_graph(self, rng):
+        a = _t(rng, 3)
+        check_gradients(lambda: ((a * 2) + (a * 3)).sum(), [a])
+
+    def test_deep_chain(self, rng):
+        a = _t(rng, 3)
+
+        def f():
+            x = a
+            for _ in range(20):
+                x = x * 1.01 + 0.001
+            return x.sum()
+
+        check_gradients(f, [a])
+
+    def test_zero_grad(self, rng):
+        a = _t(rng, 3)
+        (a * 2).sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_backward_twice_accumulates(self, rng):
+        a = _t(rng, 3)
+        y = (a * 2.0).sum()
+        y.backward()
+        first = a.grad.copy()
+        y2 = (a * 2.0).sum()
+        y2.backward()
+        assert np.allclose(a.grad, 2 * first)

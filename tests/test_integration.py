@@ -1,0 +1,133 @@
+"""End-to-end integration tests: data → model → training → evaluation.
+
+These exercise the full pipeline on a deliberately small city so they
+stay fast, and assert *learning* behaviour (trained embeddings beat
+noise, ablations construct and train) rather than absolute accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_baseline, train_baseline
+from repro.core import HAFusion, HAFusionConfig, train_hafusion, train_model
+from repro.data import CityConfig, generate_city
+from repro.eval import evaluate_embeddings
+from repro.nn.tensor import use_dtype
+
+
+@pytest.fixture(scope="module")
+def city():
+    config = CityConfig(name="integration", n_regions=36,
+                        total_trips=400000, poi_total=4000,
+                        mobility_noise=0.2)
+    return generate_city(config, seed=11)
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return HAFusionConfig(d=32, d_prime=16, conv_channels=4, memory_size=8,
+                          num_heads=2, intra_layers=1, inter_layers=1,
+                          fusion_layers=1, epochs=120, dropout=0.1)
+
+
+@pytest.fixture(scope="module")
+def trained(city, small_config):
+    with use_dtype(np.float32):
+        model, history = train_hafusion(city, small_config, seed=11)
+        embeddings = model.embed(city.views())
+    return model, history, embeddings
+
+
+class TestEndToEnd:
+    def test_training_converges(self, trained):
+        _, history, _ = trained
+        assert history.final_loss < 0.6 * history.losses[0]
+
+    def test_embeddings_beat_random_features(self, city, trained):
+        _, _, embeddings = trained
+        rng = np.random.default_rng(0)
+        noise = rng.standard_normal(embeddings.shape)
+        for task in ("checkin", "crime", "service_call"):
+            learned = evaluate_embeddings(embeddings, city, task).r2
+            random_r2 = evaluate_embeddings(noise, city, task).r2
+            assert learned > random_r2, f"learned embeddings lost to noise on {task}"
+
+    def test_embeddings_encode_mobility_volume(self, city, trained):
+        # Linear probe: log inflow must be recoverable from the
+        # embedding (the mobility view + KL loss should put it there).
+        _, _, embeddings = trained
+        inflow = np.log1p(city.mobility.inflow())
+        design = np.column_stack([embeddings, np.ones(len(embeddings))])
+        coef, *_ = np.linalg.lstsq(design, inflow, rcond=None)
+        residual = inflow - design @ coef
+        r2 = 1 - residual.var() / inflow.var()
+        assert r2 > 0.5
+
+    def test_float32_training_is_finite(self, trained):
+        _, _, embeddings = trained
+        assert np.isfinite(embeddings).all()
+
+    def test_view_weights_are_distribution(self, trained):
+        model, _, _ = trained
+        weights = model.fusion.view_weights
+        assert weights is not None
+        assert weights.sum() == pytest.approx(1.0, abs=1e-5)
+
+
+class TestAblationsTrain:
+    @pytest.mark.parametrize("overrides", [
+        {"fusion": "sum"},
+        {"fusion": "concat"},
+        {"intra_attention": "vanilla"},
+        {"inter_attention": "vanilla"},
+    ])
+    def test_ablation_variant_trains(self, city, small_config, overrides):
+        config = small_config.with_overrides(epochs=10, **overrides)
+        with use_dtype(np.float32):
+            model, history = train_hafusion(city, config, seed=11)
+        assert history.improved()
+
+    def test_view_ablation_trains(self, city, small_config):
+        config = small_config.with_overrides(epochs=10)
+        with use_dtype(np.float32):
+            model, history = train_hafusion(city, config, seed=11,
+                                            view_names=["poi", "landuse"])
+        assert history.improved()
+        assert model.n_views == 2
+
+
+class TestBaselinesEndToEnd:
+    @pytest.mark.parametrize("name", ["mvure", "mgfn", "region_dcl", "hrep"])
+    def test_baseline_full_pipeline(self, city, name):
+        with use_dtype(np.float32):
+            model = make_baseline(name, city, seed=11, d=16)
+            result = train_baseline(model, epochs=40)
+            embeddings = model.embed()
+        assert result.improved()
+        outcome = evaluate_embeddings(embeddings, city, "checkin")
+        assert np.isfinite(outcome.r2)
+
+    def test_dafusion_adapter_full_pipeline(self, city):
+        with use_dtype(np.float32):
+            model = make_baseline("mvure-dafusion", city, seed=11, d=16)
+            result = train_baseline(model, epochs=40)
+            embeddings = model.embed()
+        assert result.improved()
+        assert embeddings.shape == (36, 16)
+
+
+class TestDeterminism:
+    def test_same_seed_same_pipeline(self, city, small_config):
+        config = small_config.with_overrides(epochs=8)
+        with use_dtype(np.float32):
+            _, _ = train_hafusion(city, config, seed=3)
+            a = train_hafusion(city, config, seed=3)[0].embed(city.views())
+            b = train_hafusion(city, config, seed=3)[0].embed(city.views())
+        assert np.allclose(a, b)
+
+    def test_different_seed_differs(self, city, small_config):
+        config = small_config.with_overrides(epochs=8)
+        with use_dtype(np.float32):
+            a = train_hafusion(city, config, seed=3)[0].embed(city.views())
+            b = train_hafusion(city, config, seed=4)[0].embed(city.views())
+        assert not np.allclose(a, b)
