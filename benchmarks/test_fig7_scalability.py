@@ -4,6 +4,13 @@ The bench sweeps 180 and 360 regions (the 720/1440 expansions take tens
 of minutes of training each on CPU; regenerate them with
 ``python -m repro.experiments fig7 --profile quick``). The runtime-growth
 shape — every model slower at 2x regions — is asserted here.
+
+The payload's ``engine`` section times the batched multi-city execution
+engine (``repro.core.engine``) against the per-city Python loop on
+region shards of the largest city: the fused ``(b, n, d)`` pass must
+match the sequential path to ≤1e-8 and be at least 2x faster; the
+measured numbers are recorded in the pytest-benchmark JSON via
+``extra_info``.
 """
 
 from bench_utils import run_once
@@ -20,3 +27,12 @@ def test_fig7_scalability(benchmark):
         large = payload["runtime"][model]["nyc_360"]
         assert small > 0 and large > 0
     assert payload["region_counts"]["nyc_360"] == 360
+
+    engine = payload["engine"]
+    benchmark.extra_info["engine"] = engine
+    assert engine["batch_size"] >= 3
+    assert engine["max_abs_diff"] <= 1e-8
+    assert engine["speedup"] >= 2.0, (
+        f"batched engine only {engine['speedup']:.2f}x faster than the "
+        f"per-city loop (sequential {engine['sequential_seconds']:.3f}s, "
+        f"batched {engine['batched_seconds']:.3f}s)")

@@ -9,18 +9,37 @@ Modules map one-to-one onto the paper's architecture (Fig. 2):
   dual-feature attentive fusion (Fig. 3, Eq. 1–7);
 - :mod:`repro.core.losses` — Eq. 8 and Eq. 9–12 objectives;
 - :class:`HAFusion` + :func:`train_hafusion` — the assembled model and
-  its full-batch Adam trainer.
+  its full-batch Adam trainer;
+- :mod:`repro.core.engine` — batched multi-city execution: one
+  vectorized ``(b, n, d)`` pass over a padded+masked stack of cities (or
+  region shards of one large city) via :func:`batched_embed` /
+  :class:`BatchedTrainer`, parity-locked against the per-city loop.
 """
 
 from .config import HAFusionConfig
 from .dafusion import ConcatFusion, DAFusion, SumFusion, build_fusion
+from .engine import (
+    BatchedEmbedResult,
+    BatchedTrainer,
+    CityBatch,
+    batched_embed,
+    build_batched_model,
+    engine_speedup_report,
+    make_batch,
+    sequential_embed,
+    shard_viewset,
+)
 from .halearning import HALearning
 from .inter_afl import InterAFL
 from .intra_afl import IntraAFL, RegionSA
 from .losses import (
+    batched_feature_similarity_loss,
+    batched_mobility_kl_loss,
     feature_similarity_loss,
     mobility_kl_loss,
     mobility_transition_probabilities,
+    pad_similarity_targets,
+    pad_transition_probabilities,
 )
 from .model import HAFusion
 from .region_fusion import RegionFusion
@@ -43,7 +62,20 @@ __all__ = [
     "feature_similarity_loss",
     "mobility_kl_loss",
     "mobility_transition_probabilities",
+    "batched_feature_similarity_loss",
+    "batched_mobility_kl_loss",
+    "pad_similarity_targets",
+    "pad_transition_probabilities",
     "TrainingHistory",
     "train_hafusion",
     "train_model",
+    "CityBatch",
+    "make_batch",
+    "shard_viewset",
+    "build_batched_model",
+    "BatchedEmbedResult",
+    "BatchedTrainer",
+    "batched_embed",
+    "sequential_embed",
+    "engine_speedup_report",
 ]

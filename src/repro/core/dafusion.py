@@ -3,8 +3,8 @@
 ViewFusion aggregates the view-based embeddings of the same region into
 one embedding; RegionFusion then propagates information *between regions*
 through stacked self-attention. The module is generic: it takes any list
-of (n, d) view-based embedding matrices, which is what lets it be bolted
-onto MVURE / MGFN / HREP in Table IV (see
+of (n, d) — or batched (b, n, d) — view-based embedding matrices, which
+is what lets it be bolted onto MVURE / MGFN / HREP in Table IV (see
 :mod:`repro.baselines.fusion_adapters`).
 
 Ablation variants (Table VI) replace DAFusion with an element-wise sum
@@ -36,9 +36,9 @@ class DAFusion(Module):
                                           num_heads=num_heads, dropout=dropout,
                                           rng=rng)
 
-    def forward(self, views: list[Tensor]) -> Tensor:
-        fused = self.view_fusion(views)
-        return self.region_fusion(fused)
+    def forward(self, views: list[Tensor], mask: np.ndarray | None = None) -> Tensor:
+        fused = self.view_fusion(views, mask=mask)
+        return self.region_fusion(fused, mask=mask)
 
     @property
     def view_weights(self) -> np.ndarray | None:
@@ -52,7 +52,7 @@ class SumFusion(Module):
     def __init__(self, d_model: int, **_ignored):
         super().__init__()
 
-    def forward(self, views: list[Tensor]) -> Tensor:
+    def forward(self, views: list[Tensor], mask: np.ndarray | None = None) -> Tensor:
         out = views[0]
         for view in views[1:]:
             out = out + view
@@ -68,8 +68,8 @@ class ConcatFusion(Module):
         rng = rng if rng is not None else np.random.default_rng()
         self.projection = Linear(n_views * d_model, d_model, rng=rng)
 
-    def forward(self, views: list[Tensor]) -> Tensor:
-        return self.projection(Tensor.concat(views, axis=1)).relu()
+    def forward(self, views: list[Tensor], mask: np.ndarray | None = None) -> Tensor:
+        return self.projection(Tensor.concat(views, axis=-1)).relu()
 
 
 def build_fusion(kind: str, d_model: int, n_views: int, d_prime: int = 64,

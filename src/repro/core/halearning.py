@@ -59,15 +59,16 @@ class HALearning(Module):
         """Current value of the blending gate β."""
         return float(1.0 / (1.0 + np.exp(-self.beta_logit.data[0])))
 
-    def forward(self, views: list[Tensor]) -> list[Tensor]:
+    def forward(self, views: list[Tensor],
+                mask: np.ndarray | None = None) -> list[Tensor]:
         if len(views) != self.n_views:
             raise ValueError(f"model built for {self.n_views} views, got {len(views)}")
-        z_sv = [encoder(view) for encoder, view in zip(self.intra, views)]
-        z_stack = Tensor.stack(z_sv, axis=1)         # (n, v, d)
-        z_cv_stack = self.inter(z_stack)             # (n, v, d)
+        z_sv = [encoder(view, mask=mask) for encoder, view in zip(self.intra, views)]
+        z_stack = Tensor.stack(z_sv, axis=-2)        # (..., n, v, d)
+        z_cv_stack = self.inter(z_stack, mask=mask)  # (..., n, v, d)
         beta = self.beta_logit.sigmoid()
         blended = []
         for j in range(self.n_views):
-            z_cv_j = z_cv_stack[:, j, :]
+            z_cv_j = z_cv_stack[..., j, :]
             blended.append(z_sv[j] * beta + z_cv_j * (1.0 - beta))
         return blended

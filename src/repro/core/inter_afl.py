@@ -26,7 +26,11 @@ __all__ = ["InterAFL"]
 class InterAFL(Module):
     """Cross-view correlation learner.
 
-    Input/output shape: (n, v, d) — all regions across all views.
+    Input/output shape: (n, v, d) — all regions across all views — or
+    (b, n, v, d) for a batch of cities. External attention treats every
+    region row independently, so the batched path needs no masking; the
+    vanilla ablation flattens regions × views into tokens and key-masks
+    the padded ones.
     """
 
     def __init__(self, d_model: int, memory_size: int = 72, num_layers: int = 3,
@@ -48,10 +52,10 @@ class InterAFL(Module):
                 for _ in range(num_layers)
             ])
 
-    def forward(self, z_stack: Tensor) -> Tensor:
-        if z_stack.ndim != 3:
-            raise ValueError(f"expected (n, v, d) input, got shape {z_stack.shape}")
-        n, v, d = z_stack.shape
+    def forward(self, z_stack: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        if z_stack.ndim not in (3, 4):
+            raise ValueError(f"expected (n, v, d) or (b, n, v, d) input, got shape {z_stack.shape}")
+        n, v, d = z_stack.shape[-3:]
         h = z_stack
         if self.attention_kind == "external":
             for layer in self.layers:
@@ -60,7 +64,8 @@ class InterAFL(Module):
         # Ablation: vanilla self-attention over all n*v tokens (the
         # "computationally expensive, noisy" alternative the paper argues
         # against in Sec. V).
-        flat = h.reshape(n * v, d)
+        flat = h.reshape(z_stack.shape[:-3] + (n * v, d))
+        token_mask = None if mask is None else np.repeat(mask, v, axis=-1)
         for layer in self.layers:
-            flat = flat + layer(flat)
-        return flat.reshape(n, v, d)
+            flat = flat + layer(flat, mask=token_mask)
+        return flat.reshape(z_stack.shape)

@@ -35,9 +35,17 @@ __all__ = ["RegionSA", "IntraAFL"]
 class RegionSA(Module):
     """Region self-attention with the higher-order correlation module.
 
-    Maps (n, d) -> (n, d). ``n_regions`` is needed at construction time
-    because the correlation MLP projects rows of the n×n coefficient
-    matrix to d dimensions.
+    Maps (n, d) -> (n, d), or (b, n, d) -> (b, n, d) for a batch of
+    cities/shards sharing one set of weights. ``n_regions`` is needed at
+    construction time because the correlation MLP projects rows of the
+    n×n coefficient matrix to d dimensions.
+
+    With a keep ``mask`` (1.0 = real region, 0.0 = padding), padded keys
+    get exactly-zero attention weight, padded query rows of the
+    coefficient matrix are zeroed before the convolution (so the conv
+    kernel sees the same zero boundary an unpadded matrix would), and the
+    gating softmax of Eq. 14 is restricted to real columns — real-region
+    outputs are bit-identical to an unbatched padded run.
     """
 
     def __init__(self, d_model: int, n_regions: int, num_heads: int = 4,
@@ -60,35 +68,47 @@ class RegionSA(Module):
         self.correlation_mlp = Linear(n_regions, d_model, rng=rng)
 
     def _split_heads(self, x: Tensor) -> Tensor:
-        n = x.shape[0]
-        return x.reshape(n, self.num_heads, self.d_head).swapaxes(0, 1)
+        # (..., n, d) -> (..., heads, n, d_head)
+        shape = x.shape[:-1] + (self.num_heads, self.d_head)
+        return x.reshape(shape).swapaxes(-3, -2)
 
-    def forward(self, x: Tensor) -> Tensor:
-        n = x.shape[0]
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        n = x.shape[-2]
         if n != self.n_regions:
             raise ValueError(f"RegionSA built for n={self.n_regions}, got input with n={n}")
         query = self._split_heads(self.w_query(x))
         key = self._split_heads(self.w_key(x))
         value = self._split_heads(self.w_value(x))
-        context, weights = F.scaled_dot_product_attention(query, key, value)
-        c_v = self.w_out(context.swapaxes(0, 1).reshape(n, self.d_model))
+        additive = None if mask is None else F.additive_key_mask(mask)
+        context, weights = F.scaled_dot_product_attention(query, key, value,
+                                                          mask=additive)
+        if mask is not None:
+            # Zero the padded query rows so the coefficient matrix below is
+            # exactly zero outside the real n_i × n_i block.
+            weights = weights * Tensor(mask[..., None, :, None])
+        merged = context.swapaxes(-3, -2).reshape(x.shape[:-1] + (self.d_model,))
+        c_v = self.w_out(merged)
 
         # Higher-order correlation path (Eq. 13-14) on the head-averaged
         # coefficient matrix, treated as a 1-channel image.
-        coeff = weights.mean(axis=0).expand_dims(0)          # (1, n, n)
-        corr = self.pool(self.conv(coeff))                   # (c, n, n)
-        gated = corr * F.softmax(corr, axis=-1)              # A' ⊙ softmax(A')
-        c_a = self.correlation_mlp(gated.mean(axis=0))       # (n, n) -> (n, d)
+        coeff = weights.mean(axis=-3).expand_dims(-3)        # (..., 1, n, n)
+        corr = self.pool(self.conv(coeff))                   # (..., c, n, n)
+        if mask is None:
+            gate = F.softmax(corr, axis=-1)
+        else:
+            gate = F.softmax(corr + Tensor(F.additive_key_mask(mask)), axis=-1)
+        gated = corr * gate                                  # A' ⊙ softmax(A')
+        c_a = self.correlation_mlp(gated.mean(axis=-3))      # (..., n, n) -> (..., n, d)
         return c_v + c_a                                     # Eq. 15
 
 
 class IntraAFL(Module):
     """Per-view encoder: input projection + stacked RegionSA encoder blocks.
 
-    The input view matrix X_j (n × d_j) is first projected to the model
-    width d, then refined by ``num_layers`` Transformer-encoder blocks
-    whose attention is RegionSA (or vanilla multi-head attention for the
-    HAFusion-w/o-S ablation).
+    The input view matrix X_j (n × d_j) — or a (b, n, d_j) batch of view
+    matrices — is first projected to the model width d, then refined by
+    ``num_layers`` Transformer-encoder blocks whose attention is RegionSA
+    (or vanilla multi-head attention for the HAFusion-w/o-S ablation).
     """
 
     def __init__(self, input_dim: int, d_model: int, n_regions: int,
@@ -112,8 +132,8 @@ class IntraAFL(Module):
                 attention=attention, rng=rng))
         self.blocks = ModuleList(blocks)
 
-    def forward(self, x: Tensor) -> Tensor:
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
         h = self.input_projection(x)
         for block in self.blocks:
-            h = block(h)
+            h = block(h, mask=mask)
         return h

@@ -22,6 +22,10 @@ __all__ = [
     "feature_similarity_loss",
     "mobility_transition_probabilities",
     "mobility_kl_loss",
+    "pad_similarity_targets",
+    "pad_transition_probabilities",
+    "batched_feature_similarity_loss",
+    "batched_mobility_kl_loss",
 ]
 
 
@@ -84,3 +88,97 @@ def mobility_kl_loss(h_source: Tensor, h_dest: Tensor, mobility: np.ndarray,
     if scale == "mean":
         loss = loss * (1.0 / mobility.shape[0])
     return loss
+
+
+# ----------------------------------------------------------------------
+# Batched (multi-city) variants used by :mod:`repro.core.engine`.
+#
+# Each takes a (b, n_max, d) embedding batch plus per-city raw inputs and
+# a (b, n_max) keep mask, and returns the MEAN over cities of the exact
+# per-city loss above — padded rows/columns contribute exactly zero, so a
+# batch of size one reproduces the unbatched loss up to summation order.
+# ----------------------------------------------------------------------
+
+def pad_similarity_targets(feature_matrices: list[np.ndarray],
+                           n_max: int) -> np.ndarray:
+    """Per-city cosine-similarity targets zero-padded to (b, n_max, n_max).
+
+    Constant w.r.t. the model — trainers should compute this once and
+    pass it back through ``targets=`` on every step.
+    """
+    targets = np.zeros((len(feature_matrices), n_max, n_max))
+    for i, features in enumerate(feature_matrices):
+        n_i = features.shape[0]
+        targets[i, :n_i, :n_i] = F.cosine_similarity_matrix(features)
+    return targets
+
+
+def batched_feature_similarity_loss(embeddings: Tensor,
+                                    feature_matrices: list[np.ndarray],
+                                    mask: np.ndarray,
+                                    targets: np.ndarray | None = None) -> Tensor:
+    """Eq. 8 averaged over a padded city batch.
+
+    Parameters
+    ----------
+    embeddings:
+        (b, n_max, d) feature-oriented embeddings ``H_j`` of the batch.
+    feature_matrices:
+        Per-city raw (n_i, d_j) feature matrices of this view (unpadded).
+    mask:
+        (b, n_max) keep mask; ``mask[i, :n_i] == 1``.
+    targets:
+        Optional precomputed :func:`pad_similarity_targets` output (they
+        are constant per batch, so per-step recomputation is wasted work).
+    """
+    b, n_max, _ = embeddings.shape
+    if targets is None:
+        targets = pad_similarity_targets(feature_matrices, n_max)
+    predicted = embeddings @ embeddings.T                    # (b, n, n)
+    pair_mask = mask[:, :, None] * mask[:, None, :]
+    counts = mask.sum(axis=-1)
+    diff = (predicted - Tensor(targets)).abs() * Tensor(pair_mask)
+    per_city = diff.sum(axis=(-1, -2)) * Tensor(1.0 / counts ** 2)
+    return per_city.mean()
+
+
+def pad_transition_probabilities(mobilities: list[np.ndarray],
+                                 n_max: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-city Eq. 9 probabilities zero-padded to two (b, n_max, n_max)
+    arrays — constant per batch, precompute once per training run."""
+    b = len(mobilities)
+    p_source = np.zeros((b, n_max, n_max))
+    p_dest = np.zeros((b, n_max, n_max))
+    for i, mobility in enumerate(mobilities):
+        n_i = mobility.shape[0]
+        p_source[i, :n_i, :n_i], p_dest[i, :n_i, :n_i] = \
+            mobility_transition_probabilities(mobility)
+    return p_source, p_dest
+
+
+def batched_mobility_kl_loss(h_source: Tensor, h_dest: Tensor,
+                             mobilities: list[np.ndarray], mask: np.ndarray,
+                             scale: str = "mean",
+                             probabilities: tuple[np.ndarray, np.ndarray] | None = None) -> Tensor:
+    """Eq. 10–12 averaged over a padded city batch.
+
+    ``mobilities`` holds each city's raw square OD matrix; the empirical
+    transition probabilities are computed per city (or taken from a
+    precomputed ``probabilities`` pair) and padded with zeros, and each
+    log-softmax normalization is restricted to real rows/columns with an
+    additive mask.
+    """
+    if scale not in ("mean", "sum"):
+        raise ValueError(f"unknown scale {scale!r}")
+    b, n_max, _ = h_source.shape
+    p_source, p_dest = (probabilities if probabilities is not None
+                        else pad_transition_probabilities(mobilities, n_max))
+    logits = h_source @ h_dest.T                             # (b, n, n)
+    additive = F.additive_mask(mask)
+    log_p_source = F.log_softmax(logits + Tensor(additive[:, None, :]), axis=-1)
+    log_p_dest = F.log_softmax(logits + Tensor(additive[:, :, None]), axis=-2)
+    per_city = -(Tensor(p_source) * log_p_source).sum(axis=(-1, -2)) \
+        - (Tensor(p_dest) * log_p_dest).sum(axis=(-1, -2))
+    if scale == "mean":
+        per_city = per_city * Tensor(1.0 / mask.sum(axis=-1))
+    return per_city.mean()

@@ -71,10 +71,24 @@ class HAFusion(Module):
         self.dest_head = MLP(config.d, config.d, activation="relu", rng=rng)
 
     # ------------------------------------------------------------------
-    def forward(self, views: list[Tensor]) -> Tensor:
-        """Compute the (n, d) region embedding matrix H."""
-        view_embeddings = self.halearning(views)
-        return self.fusion(view_embeddings)
+    def forward(self, views: list[Tensor],
+                mask: np.ndarray | None = None) -> Tensor:
+        """Compute the (n, d) region embedding matrix H.
+
+        Views may carry a leading batch axis — (b, n, d_j) each — in which
+        case H is (b, n, d). ``mask`` is the (…, n) keep mask of the
+        batched execution engine (1.0 = real region, 0.0 = padding):
+        padded regions are excluded from every attention softmax and
+        zeroed between stages so they never contaminate real regions.
+        """
+        view_embeddings = self.halearning(views, mask=mask)
+        if mask is not None:
+            # Encoder blocks leave nonzero garbage in padded rows (LayerNorm
+            # maps a zero row to its bias); re-zero them so ViewFusion's
+            # region sums see exact zeros.
+            keep = Tensor(mask[..., None])
+            view_embeddings = [z * keep for z in view_embeddings]
+        return self.fusion(view_embeddings, mask=mask)
 
     def loss(self, views: ViewSet) -> Tensor:
         """Multi-task objective L = Σ_j L_j (Sec. IV-C).

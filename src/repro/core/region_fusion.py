@@ -16,7 +16,11 @@ __all__ = ["RegionFusion"]
 
 
 class RegionFusion(Module):
-    """Stacked self-attention encoder over the fused region embeddings."""
+    """Stacked self-attention encoder over the fused region embeddings.
+
+    Accepts (n, d) or a batched (b, n, d); with a keep ``mask``, padded
+    regions are excluded from every attention softmax.
+    """
 
     def __init__(self, d_model: int, num_layers: int = 3, num_heads: int = 4,
                  dropout: float = 0.1, rng: np.random.Generator | None = None):
@@ -28,8 +32,8 @@ class RegionFusion(Module):
             for _ in range(num_layers)
         ])
 
-    def forward(self, z: Tensor) -> Tensor:
+    def forward(self, z: Tensor, mask: np.ndarray | None = None) -> Tensor:
         h = z
         for block in self.blocks:
-            h = block(h)
+            h = block(h, mask=mask)
         return h

@@ -19,7 +19,8 @@ from ..nn import Adam, clip_grad_norm
 from .config import HAFusionConfig
 from .model import HAFusion
 
-__all__ = ["TrainingHistory", "train_model", "train_hafusion"]
+__all__ = ["TrainingHistory", "optimizer_step", "run_training_loop",
+           "train_model", "train_hafusion"]
 
 
 @dataclass
@@ -40,6 +41,34 @@ class TrainingHistory:
         return len(self.losses) >= 2 and self.losses[-1] < self.losses[0]
 
 
+def optimizer_step(optimizer, loss_fn, parameters, grad_clip: float) -> float:
+    """One full-batch step: zero grads, evaluate ``loss_fn``, backprop,
+    clip, update. Shared by :func:`train_model` and the batched engine's
+    :class:`~repro.core.engine.BatchedTrainer`; returns the loss value.
+    """
+    optimizer.zero_grad()
+    loss = loss_fn()
+    loss.backward()
+    if grad_clip > 0:
+        clip_grad_norm(parameters, grad_clip)
+    optimizer.step()
+    return loss.item()
+
+
+def run_training_loop(step, epochs: int, log_every: int = 0) -> TrainingHistory:
+    """Drive ``step()`` for ``epochs`` iterations, recording the loss
+    curve and wall-clock time (the one training protocol both the
+    per-city and the batched trainers follow)."""
+    history = TrainingHistory()
+    start = time.perf_counter()
+    for epoch in range(epochs):
+        history.losses.append(step())
+        if log_every and (epoch + 1) % log_every == 0:
+            print(f"epoch {epoch + 1:>5}/{epochs}  loss {history.losses[-1]:.4f}")
+    history.seconds = time.perf_counter() - start
+    return history
+
+
 def train_model(model: HAFusion, views: ViewSet,
                 epochs: int | None = None, lr: float | None = None,
                 log_every: int = 0) -> TrainingHistory:
@@ -56,20 +85,10 @@ def train_model(model: HAFusion, views: ViewSet,
     epochs = epochs if epochs is not None else config.epochs
     lr = lr if lr is not None else config.lr
     optimizer = Adam(model.parameters(), lr=lr)
-    history = TrainingHistory()
-    start = time.perf_counter()
-    for epoch in range(epochs):
-        optimizer.zero_grad()
-        loss = model.loss(views)
-        loss.backward()
-        if config.grad_clip > 0:
-            clip_grad_norm(model.parameters(), config.grad_clip)
-        optimizer.step()
-        history.losses.append(loss.item())
-        if log_every and (epoch + 1) % log_every == 0:
-            print(f"epoch {epoch + 1:>5}/{epochs}  loss {loss.item():.4f}")
-    history.seconds = time.perf_counter() - start
-    return history
+    return run_training_loop(
+        lambda: optimizer_step(optimizer, lambda: model.loss(views),
+                               model.parameters(), config.grad_clip),
+        epochs, log_every=log_every)
 
 
 def train_hafusion(city: SyntheticCity, config: HAFusionConfig | None = None,

@@ -18,7 +18,14 @@ __all__ = ["ViewFusion"]
 
 
 class ViewFusion(Module):
-    """Fuse v view-based embedding matrices into one (n, d) matrix."""
+    """Fuse v view-based embedding matrices into one (n, d) matrix.
+
+    Views may also carry a leading batch axis — v × (b, n, d) in, (b, n, d)
+    out, with one softmax weight vector per batch item. With a keep
+    ``mask``, padded region rows (which the caller zeroes before fusion)
+    contribute nothing to the pair-score sums and Eq. 2's average runs
+    over each city's real region count.
+    """
 
     def __init__(self, d_model: int, d_prime: int = 64,
                  negative_slope: float = 0.2,
@@ -30,24 +37,35 @@ class ViewFusion(Module):
         self.negative_slope = negative_slope
         self.last_weights: np.ndarray | None = None
 
-    def forward(self, views: list[Tensor]) -> Tensor:
+    def forward(self, views: list[Tensor], mask: np.ndarray | None = None) -> Tensor:
         if not views:
             raise ValueError("ViewFusion needs at least one view")
         if len(views) == 1:
             self.last_weights = np.ones(1)
             return views[0]
-        projected = [self.transform(z) for z in views]       # v × (n, d')
-        a_left = self.attention_vector[: projected[0].shape[1], 0]
-        a_right = self.attention_vector[projected[0].shape[1]:, 0]
+        projected = [self.transform(z) for z in views]       # v × (..., n, d')
+        d_prime = projected[0].shape[-1]
+        a_left = self.attention_vector[:d_prime, 0]
+        a_right = self.attention_vector[d_prime:, 0]
         # aᵀ[u ‖ w] decomposes as a_leftᵀu + a_rightᵀw, so the v² pair
-        # scores come from two (n, v) score tables — no explicit concat.
-        left_scores = Tensor.stack([p @ a_left for p in projected], axis=1)    # (n, v)
-        right_scores = Tensor.stack([p @ a_right for p in projected], axis=1)  # (n, v)
-        pair_scores = left_scores.expand_dims(2) + right_scores.expand_dims(1)  # (n, v, v)
-        pair_scores = pair_scores.leaky_relu(self.negative_slope)
-        view_scores = pair_scores.mean(axis=0).sum(axis=1)   # (v,)  Eq. 2 inner sums
-        alphas = F.softmax(view_scores, axis=0)
+        # scores come from two (..., n, v) score tables — no explicit concat.
+        left_scores = Tensor.stack([p @ a_left for p in projected], axis=-1)
+        right_scores = Tensor.stack([p @ a_right for p in projected], axis=-1)
+        pair_scores = left_scores.expand_dims(-1) + right_scores.expand_dims(-2)
+        pair_scores = pair_scores.leaky_relu(self.negative_slope)  # (..., n, v, v)
+        # Eq. 2 inner sums: average over regions, sum over the second view
+        # index. Padded rows contribute exactly zero to the sum (their
+        # zeroed embeddings project to zero scores and LeakyReLU(0) = 0),
+        # so with a mask we divide by the real region count instead.
+        if mask is None:
+            region_mean = pair_scores.mean(axis=-3)          # (..., v, v)
+        else:
+            inv_count = 1.0 / mask.sum(axis=-1)
+            region_mean = pair_scores.sum(axis=-3) * Tensor(
+                np.asarray(inv_count)[..., None, None])
+        view_scores = region_mean.sum(axis=-1)               # (..., v)
+        alphas = F.softmax(view_scores, axis=-1)
         self.last_weights = alphas.data.copy()
-        stacked = Tensor.stack(views, axis=0)                # (v, n, d)
-        weighted = stacked * alphas.reshape(-1, 1, 1)
-        return weighted.sum(axis=0)                          # Eq. 3
+        stacked = Tensor.stack(views, axis=-3)               # (..., v, n, d)
+        weighted = stacked * alphas.reshape(alphas.shape + (1, 1))
+        return weighted.sum(axis=-3)                         # Eq. 3

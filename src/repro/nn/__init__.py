@@ -6,8 +6,15 @@ reverse-mode autograd tensor (:class:`Tensor`), module system, layers
 attention, Transformer encoder blocks, external attention), stride-1 2-D
 convolution/pooling, Xavier initialization, and Adam/SGD optimizers.
 
+Every op and layer accepts an optional leading batch axis — ``(b, n, d)``
+alongside ``(n, d)``, ``(B, C, H, W)`` alongside ``(C, H, W)`` — and the
+attention modules take an optional keep ``mask`` that excludes padded
+positions exactly; this is what lets :mod:`repro.core.engine` run a batch
+of cities through the model as one fused tensor program.
+
 Every differentiable component is validated against finite-difference
-gradient checks in ``tests/nn``.
+gradient checks in ``tests/nn`` at both unbatched and batched shapes
+(``tests/nn/test_gradcheck_sweep.py``).
 """
 
 from . import functional, init

@@ -33,10 +33,12 @@ __all__ = [
 class MultiHeadSelfAttention(Module):
     """Multi-head scaled dot-product self-attention.
 
-    Input shape ``(n, d_model)`` (a set of region embeddings); output has
-    the same shape. The attention weights of the last forward pass are
-    exposed as ``last_attention`` (shape ``(heads, n, n)``) because
-    IntraAFL's RegionSA consumes the coefficient matrix itself.
+    Input shape ``(n, d_model)`` (a set of region embeddings) or
+    ``(b, n, d_model)`` (a batch of cities/shards); output has the same
+    shape. The attention weights of the last forward pass are exposed as
+    ``last_attention`` (shape ``(..., heads, n, n)``) because IntraAFL's
+    RegionSA consumes the coefficient matrix itself; the stored copy is
+    detached so it never retains the backward graph across steps.
     """
 
     def __init__(self, d_model: int, num_heads: int = 4,
@@ -55,17 +57,19 @@ class MultiHeadSelfAttention(Module):
         self.last_attention: Tensor | None = None
 
     def _split_heads(self, x: Tensor) -> Tensor:
-        n = x.shape[0]
-        return x.reshape(n, self.num_heads, self.d_head).swapaxes(0, 1)
+        # (..., n, d) -> (..., heads, n, d_head)
+        shape = x.shape[:-1] + (self.num_heads, self.d_head)
+        return x.reshape(shape).swapaxes(-3, -2)
 
-    def forward(self, x: Tensor) -> Tensor:
-        n = x.shape[0]
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
         query = self._split_heads(self.w_query(x))
         key = self._split_heads(self.w_key(x))
         value = self._split_heads(self.w_value(x))
-        context, weights = F.scaled_dot_product_attention(query, key, value)
-        self.last_attention = weights
-        merged = context.swapaxes(0, 1).reshape(n, self.d_model)
+        additive = None if mask is None else F.additive_key_mask(mask)
+        context, weights = F.scaled_dot_product_attention(query, key, value,
+                                                          mask=additive)
+        self.last_attention = weights.detach()
+        merged = context.swapaxes(-3, -2).reshape(x.shape[:-1] + (self.d_model,))
         return self.w_out(merged)
 
 
@@ -73,7 +77,8 @@ class TransformerEncoderBlock(Module):
     """Post-norm Transformer encoder block (paper Eq. 4–7).
 
     ``attention`` may be swapped out (e.g. for RegionSA in IntraAFL); it
-    must map ``(n, d) -> (n, d)``.
+    must map ``(..., n, d) -> (..., n, d)`` and, to participate in masked
+    batched execution, accept an optional ``mask`` keyword.
     """
 
     def __init__(self, d_model: int, num_heads: int = 4, d_hidden: int | None = None,
@@ -90,8 +95,8 @@ class TransformerEncoderBlock(Module):
         self.dropout2 = Dropout(dropout, rng=rng)
         self.mlp = FeedForward(d_model, d_hidden, rng=rng)
 
-    def forward(self, x: Tensor) -> Tensor:
-        attended = self.attention(x)
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        attended = self.attention(x) if mask is None else self.attention(x, mask=mask)
         x = self.norm1(x + self.dropout1(attended))
         x = self.norm2(x + self.dropout2(self.mlp(x)))
         return x
@@ -105,9 +110,12 @@ class ExternalAttention(Module):
     ``dm`` representative embeddings, and ``M_v ∈ R^{dm×d}`` projecting the
     doubly-normalised coefficients back to the embedding space.
 
-    Input shape ``(n, v, d)`` — all regions across all views. Softmax runs
-    over the view axis (axis 1) and L1 normalisation over the memory axis
-    (axis 2), exactly as Sec. V prescribes.
+    Input shape ``(n, v, d)`` — all regions across all views — or
+    ``(b, n, v, d)`` for a batch of cities. Softmax runs over the view
+    axis and L1 normalisation over the memory axis, exactly as Sec. V
+    prescribes; both are addressed from the trailing end so a leading
+    batch axis passes through untouched. Every region's row is processed
+    independently, so padded regions never contaminate real ones.
     """
 
     def __init__(self, d_model: int, memory_size: int,
@@ -119,7 +127,7 @@ class ExternalAttention(Module):
         self.m_value = Parameter(init.xavier_uniform((d_model, memory_size), rng))
 
     def forward(self, x: Tensor) -> Tensor:
-        coefficients = x @ self.m_key.T            # (n, v, dm)  — Eq. 16
-        weights = F.softmax(coefficients, axis=1)  # over views
-        weights = F.l1_normalize(weights, axis=2)  # over memory slots
-        return weights @ self.m_value.T            # (n, v, d)   — Eq. 17
+        coefficients = x @ self.m_key.T             # (..., v, dm) — Eq. 16
+        weights = F.softmax(coefficients, axis=-2)  # over views
+        weights = F.l1_normalize(weights, axis=-1)  # over memory slots
+        return weights @ self.m_value.T             # (..., v, d)  — Eq. 17

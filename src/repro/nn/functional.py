@@ -26,9 +26,33 @@ __all__ = [
     "mse_loss",
     "l1_loss",
     "scaled_dot_product_attention",
+    "additive_mask",
+    "additive_key_mask",
+    "MASK_NEG",
 ]
 
 _EPS = 1e-12
+
+#: Additive score applied to masked-out positions. Large enough that
+#: ``exp(score - max)`` underflows to exactly 0.0 in float32/float64, so a
+#: masked softmax matches an unpadded softmax bit-for-bit on the kept
+#: entries, while staying finite (no inf - inf = nan in the max-shift).
+MASK_NEG = -1e30
+
+
+def additive_mask(keep: np.ndarray) -> np.ndarray:
+    """Convert a keep mask (1.0 = real, 0.0 = padded) to an additive score
+    mask: 0.0 on kept positions, :data:`MASK_NEG` on padded ones."""
+    keep = np.asarray(keep)
+    return (1.0 - keep) * MASK_NEG
+
+
+def additive_key_mask(keep: np.ndarray) -> np.ndarray:
+    """A ``(..., n)`` keep mask as an additive key mask ``(..., 1, 1, n)``
+    that broadcasts over the head and query axes of a
+    ``(..., heads, n_q, n_k)`` score matrix — the layout every
+    self-attention module in this package shares."""
+    return additive_mask(keep)[..., None, None, :]
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -113,10 +137,20 @@ def scaled_dot_product_attention(
     query: Tensor,
     key: Tensor,
     value: Tensor,
+    mask: Tensor | np.ndarray | None = None,
 ) -> tuple[Tensor, Tensor]:
-    """Attention(Q, K, V) = softmax(QKᵀ/√d) V  (paper Eq. 4–5).
+    """Attention(Q, K, V) = softmax(QKᵀ/√d + mask) V  (paper Eq. 4–5).
 
-    Supports arbitrary leading batch dimensions (e.g. attention heads).
+    Supports arbitrary leading batch dimensions (e.g. attention heads, or
+    a leading city/shard batch axis on top of the head axis).
+
+    Parameters
+    ----------
+    mask:
+        Optional additive mask broadcastable to the score matrix
+        ``(..., n_q, n_k)``; use :func:`additive_mask` to turn a 0/1 keep
+        mask into scores (:data:`MASK_NEG` at padded key positions makes
+        their softmax weight exactly zero).
 
     Returns
     -------
@@ -124,5 +158,7 @@ def scaled_dot_product_attention(
     """
     d = query.shape[-1]
     scores = (query @ key.T) * (1.0 / np.sqrt(d))
+    if mask is not None:
+        scores = scores + (mask if isinstance(mask, Tensor) else Tensor(mask))
     weights = softmax(scores, axis=-1)
     return weights @ value, weights

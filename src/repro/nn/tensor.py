@@ -346,18 +346,26 @@ class Tensor:
                 if self.requires_grad:
                     if other.data.ndim == 1:
                         grad_self = np.expand_dims(grad, -1) * other.data
+                    elif self.data.ndim == 1:
+                        # y[..., j] = Σ_k self[k] · other[..., k, j]: reduce
+                        # the product over every axis but k (a batched
+                        # matmul would misread the 1-D gradient as a matrix).
+                        grad_self = (np.expand_dims(grad, -2) * other.data).sum(
+                            axis=tuple(range(other.data.ndim - 2)) + (-1,))
                     else:
                         grad_self = grad @ other.data.swapaxes(-1, -2)
-                    if self.data.ndim == 1:
-                        grad_self = grad_self.sum(axis=tuple(range(grad_self.ndim - 1)))
                     self._accumulate(_unbroadcast(grad_self, self.shape))
                 if other.requires_grad:
                     if self.data.ndim == 1:
                         grad_other = np.expand_dims(self.data, -1) * np.expand_dims(grad, -2)
+                        if other.data.ndim == 1:
+                            grad_other = grad_other.sum(axis=tuple(range(grad_other.ndim - 1)))
+                    elif other.data.ndim == 1:
+                        # y[..., i] = Σ_k self[..., i, k] · other[k]
+                        grad_other = (np.expand_dims(grad, -1) * self.data).sum(
+                            axis=tuple(range(self.data.ndim - 1)))
                     else:
                         grad_other = self.data.swapaxes(-1, -2) @ grad
-                    if other.data.ndim == 1:
-                        grad_other = grad_other.sum(axis=tuple(range(grad_other.ndim - 1)))
                     other._accumulate(_unbroadcast(grad_other, other.shape))
             out._backward = backward
         return out

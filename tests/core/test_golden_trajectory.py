@@ -1,0 +1,72 @@
+"""Golden-trajectory regression test.
+
+A fixed-seed training run on a fixed synthetic city must reproduce a
+committed loss curve and embedding checksum. This catches *silent
+numerical drift* — refactors (like the batch-axis vectorization) that
+keep every shape-level test green while changing the arithmetic.
+
+The golden values were produced by the run below at the time the batched
+execution engine landed; training is deterministic given (city seed,
+model seed), so same-platform reruns match to near machine precision.
+The tolerances leave room for BLAS reduction-order differences across
+platforms while still flagging any real numerical change.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import HAFusionConfig, train_hafusion
+from repro.data import CityConfig, generate_city
+
+GOLDEN_LOSSES = [
+    19.5215642348, 17.4159131739, 18.8982352121, 16.9561222575,
+    15.7635399097, 16.3161709464, 15.7797882485, 14.7633220030,
+    14.3475670731, 14.3816528432,
+]
+GOLDEN_ABS_SUM = 255.12900001
+GOLDEN_MEAN = 0.000817469390419
+GOLDEN_COL0_SUM = 13.7518495889
+
+LOSS_RTOL = 1e-6
+CHECKSUM_RTOL = 1e-5
+
+
+@pytest.fixture(scope="module")
+def trained():
+    city = generate_city(CityConfig(name="golden", n_regions=20,
+                                    total_trips=5000, poi_total=1200), seed=42)
+    config = HAFusionConfig(d=16, d_prime=8, conv_channels=4, memory_size=6,
+                            num_heads=2, intra_layers=1, inter_layers=1,
+                            fusion_layers=1, epochs=10, dropout=0.1, lr=5e-4)
+    model, history = train_hafusion(city, config, seed=7)
+    return model, history, model.embed(city.views())
+
+
+def test_loss_curve_matches_golden(trained):
+    _, history, _ = trained
+    assert len(history.losses) == len(GOLDEN_LOSSES)
+    np.testing.assert_allclose(history.losses, GOLDEN_LOSSES,
+                               rtol=LOSS_RTOL, atol=0.0)
+
+
+def test_embedding_checksums_match_golden(trained):
+    _, _, embeddings = trained
+    assert embeddings.shape == (20, 16)
+    assert np.abs(embeddings).sum() == pytest.approx(GOLDEN_ABS_SUM,
+                                                     rel=CHECKSUM_RTOL)
+    assert embeddings.mean() == pytest.approx(GOLDEN_MEAN, rel=CHECKSUM_RTOL)
+    assert embeddings[:, 0].sum() == pytest.approx(GOLDEN_COL0_SUM,
+                                                   rel=CHECKSUM_RTOL)
+
+
+def test_trajectory_is_deterministic(trained):
+    """Guards the premise of the golden values: two identical runs agree
+    bit-for-bit, so any golden mismatch is a real numerical change."""
+    city = generate_city(CityConfig(name="golden", n_regions=20,
+                                    total_trips=5000, poi_total=1200), seed=42)
+    config = HAFusionConfig(d=16, d_prime=8, conv_channels=4, memory_size=6,
+                            num_heads=2, intra_layers=1, inter_layers=1,
+                            fusion_layers=1, epochs=3, dropout=0.1, lr=5e-4)
+    _, first = train_hafusion(city, config, seed=7)
+    _, second = train_hafusion(city, config, seed=7)
+    assert first.losses == second.losses

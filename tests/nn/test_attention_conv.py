@@ -43,6 +43,29 @@ class TestMultiHeadSelfAttention:
         out_perm = attn(Tensor(x[perm])).data
         assert np.allclose(out[perm], out_perm, atol=1e-8)
 
+    def test_last_attention_detached_and_graph_freed(self, rng):
+        # ``last_attention`` must be a detached copy: holding the live
+        # autograd tensor would retain the whole backward graph (and its
+        # activation buffers) across training steps.
+        attn = MultiHeadSelfAttention(8, num_heads=2, rng=rng)
+        x = Tensor(rng.standard_normal((5, 8)), requires_grad=True)
+        out = (attn(x) ** 2.0).sum()
+        stored = attn.last_attention
+        assert not stored.requires_grad
+        assert stored._prev == () and stored._backward is None
+        out.backward()
+        # backward() frees the tape eagerly; the detached copy must not
+        # have resurrected any of it.
+        assert out._prev == () and out._backward is None
+        assert attn.last_attention._prev == ()
+        assert x.grad is not None
+
+    def test_batched_input(self, rng):
+        attn = MultiHeadSelfAttention(8, num_heads=2, rng=rng)
+        out = attn(Tensor(rng.standard_normal((3, 5, 8))))
+        assert out.shape == (3, 5, 8)
+        assert attn.last_attention.shape == (3, 2, 5, 5)
+
 
 class TestTransformerEncoderBlock:
     def test_output_shape(self, rng):

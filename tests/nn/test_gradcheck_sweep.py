@@ -1,0 +1,179 @@
+"""Finite-difference gradcheck sweep over the whole nn substrate.
+
+Every differentiable op in :mod:`repro.nn.functional` and every layer in
+:mod:`repro.nn.layers` / :mod:`repro.nn.attention` / :mod:`repro.nn.conv`
+is checked at both unbatched ``(n, d)`` and batched ``(b, n, d)`` shapes —
+the property the multi-city execution engine depends on — plus the
+broadcasting edge cases (1-D matmul operands, stretched singleton axes,
+masked attention) that the batched paths exercise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    AvgPool2d,
+    Conv2d,
+    ExternalAttention,
+    FeedForward,
+    LayerNorm,
+    Linear,
+    MultiHeadSelfAttention,
+    Tensor,
+    TransformerEncoderBlock,
+)
+from repro.nn import functional as F
+from repro.nn.gradcheck import check_gradients
+
+#: (n, d) and (b, n, d) — the two shapes every op must support.
+SHAPES = [(3, 4), (2, 3, 4)]
+
+UNARY_OPS = {
+    "softmax": lambda x: F.softmax(x, axis=-1),
+    "softmax_axis0": lambda x: F.softmax(x, axis=0),
+    "log_softmax": lambda x: F.log_softmax(x, axis=-1),
+    "relu": F.relu,
+    "leaky_relu": F.leaky_relu,
+    "sigmoid": F.sigmoid,
+    "tanh": F.tanh,
+    "gelu": F.gelu,
+    "l1_normalize": lambda x: F.l1_normalize(x, axis=-1),
+    "l2_normalize": lambda x: F.l2_normalize(x, axis=-1),
+    "exp": lambda x: x.exp(),
+    "abs": lambda x: x.abs(),
+    "sqrt_shifted": lambda x: (x * x + 1.0).sqrt(),
+    "mean_lastaxis": lambda x: x.mean(axis=-1),
+    "var": lambda x: x.var(axis=-1),
+    "max_lastaxis": lambda x: x.max(axis=-1),
+    "sum_multi_axis": lambda x: x.sum(axis=(-1, -2), keepdims=True),
+}
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=str)
+@pytest.mark.parametrize("name", sorted(UNARY_OPS))
+def test_unary_ops(name, shape, rng):
+    op = UNARY_OPS[name]
+    x = Tensor(rng.standard_normal(shape), requires_grad=True)
+    check_gradients(lambda: (op(x) * op(x)).sum(), [x], atol=1e-4)
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=str)
+def test_scaled_dot_product_attention(shape, rng):
+    tensors = [Tensor(rng.standard_normal(shape), requires_grad=True)
+               for _ in range(3)]
+
+    def func():
+        out, _ = F.scaled_dot_product_attention(*tensors)
+        return (out * out).sum()
+
+    check_gradients(func, tensors, atol=1e-4)
+
+
+def test_scaled_dot_product_attention_masked(rng):
+    """Key-masked attention: gradients flow only through kept keys."""
+    q, k, v = [Tensor(rng.standard_normal((2, 4, 3)), requires_grad=True)
+               for _ in range(3)]
+    keep = np.array([[1.0, 1.0, 1.0, 0.0], [1.0, 1.0, 0.0, 0.0]])
+    additive = F.additive_mask(keep)[:, None, :]
+
+    def func():
+        out, _ = F.scaled_dot_product_attention(q, k, v, mask=additive)
+        return (out * out).sum()
+
+    check_gradients(func, [q, v], atol=1e-4)
+    func()
+    _, weights = F.scaled_dot_product_attention(q, k, v, mask=additive)
+    assert np.all(weights.data[0, :, 3] == 0.0)
+    assert np.all(weights.data[1, :, 2:] == 0.0)
+
+
+class TestMatmulBroadcasting:
+    """Edge cases of batched matmul the engine relies on."""
+
+    def test_batched_matrix_times_vector(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        v = Tensor(rng.standard_normal(4), requires_grad=True)
+        check_gradients(lambda: ((x @ v) ** 2.0).sum(), [x, v], atol=1e-4)
+
+    def test_vector_times_batched_matrix(self, rng):
+        v = Tensor(rng.standard_normal(3), requires_grad=True)
+        x = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        check_gradients(lambda: ((v @ x) ** 2.0).sum(), [v, x], atol=1e-4)
+
+    def test_broadcast_batch_dims(self, rng):
+        a = Tensor(rng.standard_normal((1, 3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 4, 3)), requires_grad=True)
+        check_gradients(lambda: ((a @ b) ** 2.0).sum(), [a, b], atol=1e-4)
+
+    def test_stretched_elementwise_broadcast(self, rng):
+        a = Tensor(rng.standard_normal((2, 1, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((1, 3, 1)), requires_grad=True)
+        check_gradients(lambda: ((a * b) + (a + b)).sum(), [a, b], atol=1e-4)
+
+
+LAYER_FACTORIES = {
+    "linear": lambda rng: Linear(4, 5, rng=rng),
+    "linear_nobias": lambda rng: Linear(4, 5, bias=False, rng=rng),
+    "mlp": lambda rng: MLP(4, 5, hidden_features=6, rng=rng),
+    "feedforward": lambda rng: FeedForward(4, 8, rng=rng),
+    "layernorm": lambda rng: LayerNorm(4),
+}
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=str)
+@pytest.mark.parametrize("name", sorted(LAYER_FACTORIES))
+def test_layers(name, shape, rng):
+    layer = LAYER_FACTORIES[name](rng)
+    x = Tensor(rng.standard_normal(shape), requires_grad=True)
+    check_gradients(lambda: (layer(x) * layer(x)).sum(),
+                    [x] + layer.parameters(), atol=1e-4)
+
+
+ATTENTION_SHAPES = [(3, 4), (2, 3, 4)]
+
+
+@pytest.mark.parametrize("shape", ATTENTION_SHAPES, ids=str)
+def test_multi_head_self_attention(shape, rng):
+    attn = MultiHeadSelfAttention(4, num_heads=2, rng=rng)
+    x = Tensor(rng.standard_normal(shape), requires_grad=True)
+    check_gradients(lambda: (attn(x) ** 2.0).sum(),
+                    [x] + attn.parameters(), atol=1e-4)
+
+
+def test_multi_head_self_attention_masked(rng):
+    attn = MultiHeadSelfAttention(4, num_heads=2, rng=rng)
+    x = Tensor(rng.standard_normal((2, 4, 4)), requires_grad=True)
+    keep = np.array([[1.0, 1.0, 1.0, 0.0], [1.0, 1.0, 0.0, 0.0]])
+    check_gradients(lambda: (attn(x, mask=keep) ** 2.0).sum(),
+                    [x] + attn.parameters(), atol=1e-4)
+
+
+@pytest.mark.parametrize("shape", ATTENTION_SHAPES, ids=str)
+def test_transformer_encoder_block(shape, rng):
+    block = TransformerEncoderBlock(4, num_heads=2, dropout=0.0, rng=rng)
+    x = Tensor(rng.standard_normal(shape), requires_grad=True)
+    check_gradients(lambda: (block(x) ** 2.0).sum(), [x], atol=1e-4)
+
+
+@pytest.mark.parametrize("shape", [(3, 2, 4), (2, 3, 2, 4)], ids=str)
+def test_external_attention(shape, rng):
+    ext = ExternalAttention(4, memory_size=3, rng=rng)
+    x = Tensor(rng.standard_normal(shape), requires_grad=True)
+    check_gradients(lambda: (ext(x) ** 2.0).sum(),
+                    [x, ext.m_key, ext.m_value], atol=1e-4)
+
+
+@pytest.mark.parametrize("shape", [(2, 4, 4), (2, 2, 4, 4)], ids=str)
+def test_conv2d(shape, rng):
+    conv = Conv2d(2, 3, kernel_size=3, rng=rng)
+    x = Tensor(rng.standard_normal(shape), requires_grad=True)
+    check_gradients(lambda: (conv(x) ** 2.0).sum(),
+                    [x] + conv.parameters(), atol=1e-4)
+
+
+@pytest.mark.parametrize("shape", [(2, 4, 4), (2, 2, 4, 4)], ids=str)
+def test_avgpool2d(shape, rng):
+    pool = AvgPool2d(kernel_size=3)
+    x = Tensor(rng.standard_normal(shape), requires_grad=True)
+    check_gradients(lambda: (pool(x) ** 2.0).sum(), [x], atol=1e-4)
