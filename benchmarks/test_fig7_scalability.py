@@ -13,6 +13,8 @@ measured numbers are recorded in the pytest-benchmark JSON via
 ``extra_info``.
 """
 
+import os
+
 from bench_utils import run_once
 
 from repro.experiments import run_experiment
@@ -32,7 +34,9 @@ def test_fig7_scalability(benchmark):
     benchmark.extra_info["engine"] = engine
     assert engine["batch_size"] >= 3
     assert engine["max_abs_diff"] <= 1e-8
-    assert engine["speedup"] >= 2.0, (
+    # Shared CI runners relax the wall-clock gate (noisy neighbors).
+    gate = float(os.environ.get("REPRO_ENGINE_SPEEDUP_GATE", "2.0"))
+    assert engine["speedup"] >= gate, (
         f"batched engine only {engine['speedup']:.2f}x faster than the "
         f"per-city loop (sequential {engine['sequential_seconds']:.3f}s, "
         f"batched {engine['batched_seconds']:.3f}s)")

@@ -7,10 +7,13 @@ the IntraAFL convolution path, external attention's linear-in-n cost
 descent Lasso, and synthetic-city generation.
 """
 
+import os
+
 import numpy as np
 import pytest
 
-from repro.data import CityConfig, generate_city
+from repro.core import HAFusionConfig, compiled_speedup_report
+from repro.data import CityConfig, generate_city, load_city
 from repro.eval import Lasso
 from repro.nn import (
     AvgPool2d,
@@ -81,6 +84,48 @@ class TestConvBenchmarks:
         coeff = Tensor(rng.random((1, N_REGIONS, N_REGIONS)).astype(np.float32))
         result = benchmark(lambda: pool(conv(coeff)))
         assert result.shape == (32, N_REGIONS, N_REGIONS)
+
+
+class TestCompiledStepBenchmarks:
+    def test_compiled_step_speedup_nyc360(self, benchmark):
+        """Compiled-vs-eager training step at paper scale (nyc_360,
+        n=360, d=144, fig7 conv_channels): twin models from one seed,
+        per-epoch wall-clock of an eager tape step vs a plan replay.
+
+        Asserts final-embedding parity ≤1e-8 in float64 (the acceptance
+        bound) plus the ≥2x per-epoch speedup gate.  Skipped entirely
+        under ``--benchmark-disable`` (the every-push CI smoke): the
+        parity half is already locked down by the tier-1 compiled-parity
+        suite, so the smoke should not pay a minute of twin training.
+        The nightly full benchmark run enforces the gate and archives
+        the measured numbers in the pytest-benchmark JSON
+        (``extra_info["compiled"]``).  Measured on a dedicated core this
+        lands around 2.5x; shared CI runners relax the gate through
+        ``REPRO_COMPILED_SPEEDUP_GATE`` (noisy-neighbor contention can
+        cost 10–20% of wall-clock).
+        """
+        from bench_utils import run_once
+
+        if not benchmark.enabled:
+            # ~1 min of twin nyc_360 training buys nothing under
+            # --benchmark-disable: the parity half is already locked down
+            # by tests/core/test_compiled_parity.py in tier-1.
+            pytest.skip("timing-gated benchmark; parity covered in tier-1")
+        city = load_city("nyc_360", seed=7)
+        config = HAFusionConfig.for_city("nyc_360", conv_channels=16)
+        report = run_once(benchmark, compiled_speedup_report, city,
+                          config, seed=7, epochs=5)
+        benchmark.extra_info["compiled"] = report
+        print("\ncompiled step report:", report)
+        assert report["final_embedding_max_abs_diff"] <= 1e-8
+        assert report["max_loss_diff"] <= 1e-6
+        assert report["plan_forward_ops"] > 100
+        gate = float(os.environ.get("REPRO_COMPILED_SPEEDUP_GATE", "2.0"))
+        assert report["speedup"] >= gate, (
+            f"compiled step only {report['speedup']:.2f}x faster than "
+            f"eager (eager {report['eager_seconds_per_epoch']:.3f}s, "
+            f"compiled {report['compiled_seconds_per_epoch']:.3f}s "
+            f"per epoch)")
 
 
 class TestEvalBenchmarks:

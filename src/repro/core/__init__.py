@@ -24,6 +24,7 @@ from .engine import (
     CityBatch,
     batched_embed,
     build_batched_model,
+    compiled_speedup_report,
     engine_speedup_report,
     make_batch,
     sequential_embed,
@@ -43,7 +44,13 @@ from .losses import (
 )
 from .model import HAFusion
 from .region_fusion import RegionFusion
-from .trainer import TrainingHistory, train_hafusion, train_model
+from .trainer import (
+    TrainingHistory,
+    compiled_optimizer_step,
+    optimizer_step,
+    train_hafusion,
+    train_model,
+)
 from .view_fusion import ViewFusion
 
 __all__ = [
@@ -69,6 +76,8 @@ __all__ = [
     "TrainingHistory",
     "train_hafusion",
     "train_model",
+    "optimizer_step",
+    "compiled_optimizer_step",
     "CityBatch",
     "make_batch",
     "shard_viewset",
@@ -78,4 +87,5 @@ __all__ = [
     "batched_embed",
     "sequential_embed",
     "engine_speedup_report",
+    "compiled_speedup_report",
 ]

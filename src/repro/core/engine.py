@@ -38,7 +38,7 @@ import numpy as np
 
 from ..data.city import SyntheticCity
 from ..data.features import ViewSet
-from ..nn import Adam, Tensor, no_grad
+from ..nn import Adam, CompiledStep, Tensor, no_grad
 from .config import HAFusionConfig
 from .losses import (
     batched_feature_similarity_loss,
@@ -47,7 +47,12 @@ from .losses import (
     pad_transition_probabilities,
 )
 from .model import HAFusion
-from .trainer import TrainingHistory, optimizer_step, run_training_loop
+from .trainer import (
+    TrainingHistory,
+    compiled_optimizer_step,
+    optimizer_step,
+    run_training_loop,
+)
 
 __all__ = [
     "CityBatch",
@@ -59,6 +64,7 @@ __all__ = [
     "sequential_embed",
     "BatchedTrainer",
     "engine_speedup_report",
+    "compiled_speedup_report",
 ]
 
 CityLike = Union[SyntheticCity, ViewSet]
@@ -274,7 +280,7 @@ class BatchedTrainer:
 
     def __init__(self, cities: "Sequence[CityLike] | CityBatch",
                  config: HAFusionConfig | None = None, seed: int = 0,
-                 model: HAFusion | None = None):
+                 model: HAFusion | None = None, compiled: bool = False):
         self.batch = _as_batch(cities)
         self.config = config if config is not None else HAFusionConfig()
         self.model = model if model is not None else build_batched_model(
@@ -304,6 +310,12 @@ class BatchedTrainer:
         self._mobility_probs = (
             pad_transition_probabilities(self._mobilities, self.batch.n_max)
             if self._use_kl else None)
+        # Record-once/replay-many executor: the batch layout is fixed at
+        # construction, so one plan covers the whole training run.
+        self._compiled_step = CompiledStep(
+            self.loss,
+            signature_fn=lambda: tuple(m.shape for m in self.batch.matrices)
+        ) if compiled else None
 
     def loss(self) -> Tensor:
         """Masked multi-view objective over the whole batch."""
@@ -326,6 +338,10 @@ class BatchedTrainer:
 
     def step(self) -> float:
         """One optimizer step; returns the pre-step loss."""
+        if self._compiled_step is not None:
+            return compiled_optimizer_step(self.optimizer, self._compiled_step,
+                                           self.model.parameters(),
+                                           self.config.grad_clip)
         return optimizer_step(self.optimizer, self.loss,
                               self.model.parameters(), self.config.grad_clip)
 
@@ -375,3 +391,78 @@ def _timed(func, model, batch) -> float:
     start = time.perf_counter()
     func(model, batch)
     return time.perf_counter() - start
+
+
+def compiled_speedup_report(city: CityLike,
+                            config: HAFusionConfig | None = None,
+                            seed: int = 7, epochs: int = 4) -> dict:
+    """Time eager vs compiled training steps on identical twin models.
+
+    Two models are built from the same seed (identical weights and rng
+    streams); one trains eagerly, the other through the compiled
+    record/replay executor.  Per-epoch wall-clock is measured for both
+    (the compiled side's recording epoch is reported separately — the
+    speedup compares an eager step against a plan *replay*), together
+    with the per-epoch loss differences and the final-embedding max
+    absolute difference.  This is the JSON payload the substrate
+    benchmark records and gates (≥2x, ≤1e-8 in float64).
+    """
+    if epochs < 2:
+        raise ValueError(f"epochs must be >= 2 (the first compiled epoch "
+                         f"records; at least one replay is timed), got {epochs}")
+    views = _as_viewset(city)
+    config = config if config is not None else HAFusionConfig()
+    mobility_view = (views.names.index("mobility")
+                     if "mobility" in views.names else None)
+
+    def build() -> HAFusion:
+        return HAFusion(views.dims(), views.n_regions, config,
+                        mobility_view=mobility_view,
+                        rng=np.random.default_rng(seed))
+
+    eager_model = build()
+    parameters = eager_model.parameters()
+    optimizer = Adam(parameters, lr=config.lr)
+    eager_losses, eager_times = [], []
+    for _ in range(epochs):
+        start = time.perf_counter()
+        eager_losses.append(optimizer_step(
+            optimizer, lambda: eager_model.loss(views), parameters,
+            config.grad_clip))
+        eager_times.append(time.perf_counter() - start)
+
+    compiled_model = build()
+    parameters = compiled_model.parameters()
+    optimizer = Adam(parameters, lr=config.lr)
+    step = CompiledStep(lambda: compiled_model.loss(views))
+    compiled_losses, replay_times = [], []
+    start = time.perf_counter()
+    compiled_losses.append(compiled_optimizer_step(
+        optimizer, step, parameters, config.grad_clip))
+    record_seconds = time.perf_counter() - start
+    for _ in range(epochs - 1):
+        start = time.perf_counter()
+        compiled_losses.append(compiled_optimizer_step(
+            optimizer, step, parameters, config.grad_clip))
+        replay_times.append(time.perf_counter() - start)
+
+    max_loss_diff = max(abs(e - c)
+                        for e, c in zip(eager_losses, compiled_losses))
+    embedding_diff = float(np.abs(eager_model.embed(views)
+                                  - compiled_model.embed(views)).max())
+    eager_seconds = min(eager_times)
+    compiled_seconds = min(replay_times)
+    plan = step.plan
+    return {
+        "city": getattr(city, "name", "viewset"),
+        "n_regions": views.n_regions,
+        "epochs": epochs,
+        "plan_forward_ops": plan.num_forward_ops,
+        "plan_backward_ops": plan.num_backward_ops,
+        "record_seconds": record_seconds,
+        "eager_seconds_per_epoch": eager_seconds,
+        "compiled_seconds_per_epoch": compiled_seconds,
+        "speedup": eager_seconds / compiled_seconds,
+        "max_loss_diff": max_loss_diff,
+        "final_embedding_max_abs_diff": embedding_diff,
+    }

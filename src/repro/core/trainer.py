@@ -4,6 +4,13 @@ The paper trains for 2,500 epochs in full batches with Adam (lr 5e-4).
 :func:`train_hafusion` is the one-call entry point used by the examples
 and experiment runners; :class:`TrainingHistory` records per-epoch losses
 and wall-clock time for Table V.
+
+``compiled=True`` switches the loop onto the record-once/replay-many
+executor (:mod:`repro.nn.compile`): the first epoch runs eagerly under
+the tape recorder, every later epoch replays the captured plan over
+preallocated buffers.  Shapes are static in full-batch training, so the
+plan stays valid for the whole run; if they do change, the step falls
+back to one eager (re-recording) epoch automatically.
 """
 
 from __future__ import annotations
@@ -15,12 +22,12 @@ import numpy as np
 
 from ..data.city import SyntheticCity
 from ..data.features import ViewSet
-from ..nn import Adam, clip_grad_norm
+from ..nn import Adam, CompiledStep, clip_grad_norm
 from .config import HAFusionConfig
 from .model import HAFusion
 
-__all__ = ["TrainingHistory", "optimizer_step", "run_training_loop",
-           "train_model", "train_hafusion"]
+__all__ = ["TrainingHistory", "optimizer_step", "compiled_optimizer_step",
+           "run_training_loop", "train_model", "train_hafusion"]
 
 
 @dataclass
@@ -55,6 +62,19 @@ def optimizer_step(optimizer, loss_fn, parameters, grad_clip: float) -> float:
     return loss.item()
 
 
+def compiled_optimizer_step(optimizer, step: CompiledStep, parameters,
+                            grad_clip: float) -> float:
+    """Compiled twin of :func:`optimizer_step`: the forward+backward pair
+    is one plan replay (``step.run()`` binds every parameter's ``.grad``);
+    clipping and the optimizer update stay identical."""
+    optimizer.zero_grad()
+    value = step.run()
+    if grad_clip > 0:
+        clip_grad_norm(parameters, grad_clip)
+    optimizer.step()
+    return value
+
+
 def run_training_loop(step, epochs: int, log_every: int = 0) -> TrainingHistory:
     """Drive ``step()`` for ``epochs`` iterations, recording the loss
     curve and wall-clock time (the one training protocol both the
@@ -71,7 +91,7 @@ def run_training_loop(step, epochs: int, log_every: int = 0) -> TrainingHistory:
 
 def train_model(model: HAFusion, views: ViewSet,
                 epochs: int | None = None, lr: float | None = None,
-                log_every: int = 0) -> TrainingHistory:
+                log_every: int = 0, compiled: bool = False) -> TrainingHistory:
     """Train ``model`` on ``views`` with full-batch Adam.
 
     Parameters
@@ -80,26 +100,42 @@ def train_model(model: HAFusion, views: ViewSet,
         Override the model config's values if given.
     log_every:
         Print a progress line every k epochs (0 = silent).
+    compiled:
+        Run epochs through the compiled record/replay executor instead of
+        rebuilding the eager tape each step (same arithmetic, locked to
+        ≤1e-8 parity by ``tests/core/test_compiled_parity.py``).
     """
     config = model.config
     epochs = epochs if epochs is not None else config.epochs
     lr = lr if lr is not None else config.lr
-    optimizer = Adam(model.parameters(), lr=lr)
+    parameters = model.parameters()
+    optimizer = Adam(parameters, lr=lr)
+    if compiled:
+        step = CompiledStep(
+            lambda: model.loss(views),
+            signature_fn=lambda: tuple(m.shape for m in views.matrices))
+        return run_training_loop(
+            lambda: compiled_optimizer_step(optimizer, step, parameters,
+                                            config.grad_clip),
+            epochs, log_every=log_every)
     return run_training_loop(
         lambda: optimizer_step(optimizer, lambda: model.loss(views),
-                               model.parameters(), config.grad_clip),
+                               parameters, config.grad_clip),
         epochs, log_every=log_every)
 
 
 def train_hafusion(city: SyntheticCity, config: HAFusionConfig | None = None,
                    seed: int = 0, view_names: list[str] | None = None,
-                   log_every: int = 0) -> tuple[HAFusion, TrainingHistory]:
+                   log_every: int = 0,
+                   compiled: bool = False) -> tuple[HAFusion, TrainingHistory]:
     """Build and train HAFusion on a city; returns (model, history).
 
     Parameters
     ----------
     view_names:
         Subset of views to use (Fig. 6 ablations); default all three.
+    compiled:
+        Train through the compiled record/replay executor.
     """
     views = city.views()
     if view_names is not None:
@@ -109,5 +145,5 @@ def train_hafusion(city: SyntheticCity, config: HAFusionConfig | None = None,
     rng = np.random.default_rng(seed)
     model = HAFusion(views.dims(), views.n_regions, config,
                      mobility_view=mobility_view, rng=rng)
-    history = train_model(model, views, log_every=log_every)
+    history = train_model(model, views, log_every=log_every, compiled=compiled)
     return model, history

@@ -19,17 +19,33 @@ gradient checks in ``tests/nn`` at both unbatched and batched shapes
 
 from . import functional, init
 from .attention import ExternalAttention, MultiHeadSelfAttention, TransformerEncoderBlock
+from .compile import CompiledStep, Plan, compile_step
 from .conv import AvgPool2d, Conv2d
 from .gradcheck import check_gradients, numeric_gradient
 from .layers import MLP, Dropout, FeedForward, Identity, LayerNorm, Linear
 from .module import Module, ModuleList, Parameter, Sequential
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
-from .tensor import Tensor, is_grad_enabled, no_grad
+from .tensor import (
+    Tensor,
+    get_default_dtype,
+    is_grad_enabled,
+    no_grad,
+    record_tape,
+    set_default_dtype,
+    use_dtype,
+)
 
 __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "record_tape",
+    "use_dtype",
+    "set_default_dtype",
+    "get_default_dtype",
+    "Plan",
+    "CompiledStep",
+    "compile_step",
     "Parameter",
     "Module",
     "Sequential",

@@ -1,0 +1,1256 @@
+"""Compiled training-step executor: record the autograd tape once, replay
+it with preallocated buffers.
+
+HAFusion trains full-batch for thousands of epochs, so every step has
+identical shapes: the same ops, on the same buffers, with only the
+parameter values changing between steps.  The eager engine nevertheless
+rebuilds the whole Python tape each step — thousands of
+:class:`~repro.nn.Tensor` objects, backward closures, and fresh numpy
+allocations per epoch.  This module removes that cost:
+
+- :func:`repro.nn.tensor.record_tape` captures one eager step's graph in
+  creation order (creation order *is* execution order, which is what
+  keeps stateful ops like dropout replayable);
+- :class:`Plan` lowers the captured graph to a flat list of forward and
+  backward kernels over preallocated slot buffers — no ``Tensor``
+  construction, no closure allocation, in-place numpy kernels
+  (``np.matmul(..., out=)``, ``np.exp(x, out=buf)``, fused
+  softmax/log-softmax backward), and gradient buffers reused across
+  epochs.  Pure view ops (reshape/swapaxes/slice of a fixed buffer)
+  replay as no-ops;
+- :class:`CompiledStep` wraps record + replay with an automatic eager
+  fallback: when the step signature (e.g. input shapes) changes or a
+  parameter array is replaced (``load_state_dict``), the step re-records
+  by running eagerly once and continues compiled.
+
+Replay arithmetic is operation-for-operation equivalent to the eager
+tape's (locked down by ``tests/core/test_compiled_parity.py`` and the
+compiled golden-trajectory test); the admissible differences are the
+*order* in which fan-out gradients are accumulated and the separable
+re-association inside the fused RegionSA gate kernels — pure
+float-rounding effects, which is why parity is ≤1e-8 in float64 rather
+than bit-exact.
+
+Contract: a compiled step assumes a *static* step — constant inputs and
+loss targets, with parameters the only state changing between replays
+(exactly full-batch training).  Dropout stays exact: each ``dropout``
+node redraws its mask from the same ``Generator`` in recorded order, so
+the stream of draws matches what the eager step would have consumed
+(dropout on a constant input is off-tape and therefore rejected at
+record time rather than silently frozen).
+
+Memory trade-off: the plan retains every activation *and* a gradient
+buffer per slot for its lifetime — roughly 2x the eager backward's peak,
+which frees intermediate gradients as it goes (~2.1 GB vs ~1.2 GB on
+nyc_360 in float64).  A liveness pass that pools gradient buffers is a
+ROADMAP follow-on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+import numpy as np
+
+from .module import Parameter
+from .tensor import Tensor, _is_basic_index, _unbroadcast, record_tape
+
+__all__ = ["Plan", "CompiledStep", "compile_step"]
+
+
+def _mark(written: set[int], key: int) -> bool:
+    """First write to a gradient buffer stores; later writes accumulate.
+
+    Called at *build* time in exact edge-execution order, so the flag is
+    static and replay never needs to zero gradient buffers.
+    """
+    if key in written:
+        return False
+    written.add(key)
+    return True
+
+
+def _contrib_sink(pg: np.ndarray, contrib_shape, store: bool) -> Callable:
+    """Return ``fn(contribution)`` storing/accumulating into ``pg``,
+    reducing broadcast axes first when the shapes differ."""
+    if tuple(contrib_shape) == pg.shape:
+        if store:
+            return lambda c: np.copyto(pg, c)
+        return lambda c: np.add(pg, c, out=pg)
+    if store:
+        return lambda c: np.copyto(pg, _unbroadcast(np.asarray(c), pg.shape))
+    return lambda c: np.add(pg, _unbroadcast(np.asarray(c), pg.shape), out=pg)
+
+
+# ----------------------------------------------------------------------
+# Forward kernel builders: op tag -> fn(node, scratch) -> callable | None
+# (None = no work at replay time, e.g. a pure view).  Every kernel is
+# arithmetically identical to the eager op it replays.
+# ----------------------------------------------------------------------
+
+def _is_view(node: Tensor) -> bool:
+    return (node.data.base is not None
+            and np.may_share_memory(node.data, node._prev[0].data))
+
+
+def _zeros_with_layout(shape, like: np.ndarray) -> np.ndarray:
+    """Zeros of ``shape`` laid out in memory like ``like`` (same axis
+    order by descending stride), so bulk copies between the two iterate
+    both arrays contiguously.  Shapes may differ per axis."""
+    order = sorted(range(len(shape)), key=lambda i: -like.strides[i])
+    buf = np.zeros(tuple(shape[i] for i in order), dtype=like.dtype)
+    return buf.transpose(np.argsort(order))
+
+
+def _fwd_add(node, scratch):
+    a, b = node._prev[0].data, node._prev[1].data
+    out = node.data
+    return lambda: np.add(a, b, out=out)
+
+
+def _fwd_mul(node, scratch):
+    a, b = node._prev[0].data, node._prev[1].data
+    out = node.data
+    return lambda: np.multiply(a, b, out=out)
+
+
+def _fwd_pow(node, scratch):
+    (exponent,) = node._ctx
+    a, out = node._prev[0].data, node.data
+    # ``a ** e`` (not np.power) so numpy's special-cased exponents
+    # (2, 0.5, -1, -0.5) match the eager computation bit-for-bit.
+    return lambda: np.copyto(out, a ** exponent)
+
+
+def _fwd_matmul(node, scratch):
+    a, b = node._prev[0].data, node._prev[1].data
+    out = node.data
+    if a.ndim >= 2 and b.ndim >= 2:
+        return lambda: np.matmul(a, b, out=out)
+    return lambda: np.copyto(out, a @ b)
+
+
+def _fwd_exp(node, scratch):
+    a, out = node._prev[0].data, node.data
+    return lambda: np.exp(a, out=out)
+
+
+def _fwd_log(node, scratch):
+    a, out = node._prev[0].data, node.data
+    return lambda: np.log(a, out=out)
+
+
+def _fwd_tanh(node, scratch):
+    a, out = node._prev[0].data, node.data
+    return lambda: np.tanh(a, out=out)
+
+
+def _fwd_sigmoid(node, scratch):
+    a, out = node._prev[0].data, node.data
+
+    def run():
+        np.negative(a, out=out)
+        np.exp(out, out=out)
+        np.add(out, 1.0, out=out)
+        np.divide(1.0, out, out=out)
+    return run
+
+
+def _fwd_relu(node, scratch):
+    a, out = node._prev[0].data, node.data
+    return lambda: np.maximum(a, 0.0, out=out)
+
+
+def _fwd_leaky_relu(node, scratch):
+    (slope,) = node._ctx
+    a, out = node._prev[0].data, node.data
+
+    def run():
+        # out = a * where(a > 0, 1, slope): a*1.0 is bitwise a, so the
+        # positive branch is a plain masked copy.
+        np.multiply(a, slope, out=out)
+        np.copyto(out, a, where=a > 0.0)
+    return run
+
+
+def _fwd_abs(node, scratch):
+    a, out = node._prev[0].data, node.data
+    return lambda: np.abs(a, out=out)
+
+
+def _fwd_softmax(node, scratch):
+    (axis,) = node._ctx
+    a, out = node._prev[0].data, node.data
+
+    def run():
+        np.subtract(a, a.max(axis=axis, keepdims=True), out=out)
+        np.exp(out, out=out)
+        np.divide(out, out.sum(axis=axis, keepdims=True), out=out)
+    return run
+
+
+def _fwd_log_softmax(node, scratch):
+    (axis,) = node._ctx
+    a, out = node._prev[0].data, node.data
+
+    def run():
+        np.subtract(a, a.max(axis=axis, keepdims=True), out=out)
+        np.subtract(out, np.log(np.exp(out).sum(axis=axis, keepdims=True)),
+                    out=out)
+    return run
+
+
+def _fwd_sum(node, scratch):
+    axis, keepdims = node._ctx
+    a, out = node._prev[0].data, node.data
+    return lambda: np.sum(a, axis=axis, keepdims=keepdims, out=out)
+
+
+def _fwd_max(node, scratch):
+    axis, keepdims = node._ctx
+    a, out = node._prev[0].data, node.data
+    return lambda: np.amax(a, axis=axis, keepdims=keepdims, out=out)
+
+
+def _fwd_reshape(node, scratch):
+    if _is_view(node):
+        return None
+    a, out = node._prev[0].data, node.data
+    return lambda: np.copyto(out, a.reshape(out.shape))
+
+
+def _fwd_swapaxes(node, scratch):
+    if _is_view(node):
+        return None
+    ax1, ax2 = node._ctx
+    a, out = node._prev[0].data, node.data
+    return lambda: np.copyto(out, a.swapaxes(ax1, ax2))
+
+
+def _fwd_transpose(node, scratch):
+    if _is_view(node):
+        return None
+    (axes,) = node._ctx
+    a, out = node._prev[0].data, node.data
+    return lambda: np.copyto(out, a.transpose(axes))
+
+
+def _fwd_expand_dims(node, scratch):
+    return None if _is_view(node) else _fwd_reshape(node, scratch)
+
+
+def _fwd_squeeze(node, scratch):
+    return None if _is_view(node) else _fwd_reshape(node, scratch)
+
+
+def _fwd_getitem(node, scratch):
+    if _is_view(node):
+        return None
+    (index,) = node._ctx
+    a, out = node._prev[0].data, node.data
+    return lambda: np.copyto(out, a[index])
+
+
+def _fwd_concat(node, scratch):
+    (axis,) = node._ctx
+    arrays = [p.data for p in node._prev]
+    out = node.data
+    return lambda: np.concatenate(arrays, axis=axis, out=out)
+
+
+def _fwd_stack(node, scratch):
+    (axis,) = node._ctx
+    out = node.data
+    ax = axis % out.ndim
+    pairs = [(out[(slice(None),) * ax + (i,)], p.data)
+             for i, p in enumerate(node._prev)]
+
+    def run():
+        for view, src in pairs:
+            np.copyto(view, src)
+    return run
+
+
+def _fwd_dropout(node, scratch):
+    p, rng, mask = node._ctx
+    a, out = node._prev[0].data, node.data
+    rand = np.empty(a.shape, dtype=np.float64)
+    kept = np.empty(a.shape, dtype=bool)
+    # Adopt the eagerly drawn mask as the plan buffer: the recording
+    # step's backward then reads the exact mask its forward used.
+    scratch[id(node)] = mask
+
+    def run():
+        # Same draw, same comparison, same division as the eager op, so
+        # the rng stream and the mask values match an eager step exactly.
+        rng.random(out=rand)
+        np.greater_equal(rand, p, out=kept)
+        np.copyto(mask, kept)
+        np.divide(mask, 1.0 - p, out=mask)
+        np.multiply(a, mask, out=out)
+    return run
+
+
+def _fwd_conv2d(node, scratch):
+    kernel, pad, batched, eager_cols = node._ctx
+    x = node._prev[0].data
+    weight = node._prev[1].data
+    bias = node._prev[2].data if len(node._prev) > 2 else None
+    out = node.data
+    data4 = x if batched else x[None]
+    batch, channels, height, width = data4.shape
+    out_channels = weight.shape[0]
+    padded = np.zeros((batch, channels, height + 2 * pad, width + 2 * pad),
+                      dtype=x.dtype)
+    inner = padded[:, :, pad:pad + height, pad:pad + width]
+    s = padded.strides
+    # Patch view already laid out as (B, H, W, C, k, k) — one copy into a
+    # preallocated buffer replaces _im2col's transpose+reshape copy.
+    patches = np.lib.stride_tricks.as_strided(
+        padded, shape=(batch, height, width, channels, kernel, kernel),
+        strides=(s[0], s[2], s[3], s[1], s[2], s[3]), writeable=False)
+    # Adopt the eager im2col buffer: the recording step's backward then
+    # reads the exact patch matrix its forward produced.
+    cols = eager_cols
+    cols6 = cols.reshape(batch, height, width, channels, kernel, kernel)
+    flat_w = weight.reshape(out_channels, -1)
+    out4 = out if batched else out[None]
+    scratch[id(node)] = cols
+    # The eager output is a transposed *view* of the GEMM result; adopt
+    # that base array as the matmul target so the replay, like the eager
+    # op, never materializes the (B, O, H, W) layout.
+    mm = out.base
+    adopted = (mm is not None
+               and mm.shape == (batch * height * width, out_channels))
+    # Channel-first contiguous output (the gate-fusion normalization):
+    # run the GEMM transposed — flat_w @ colsᵀ lands directly in the
+    # (O, H·W) layout, so no transposition pass is ever materialized.
+    transposed = (not adopted and batch == 1 and out4.flags.c_contiguous)
+    if not (adopted or transposed):
+        mm = np.empty((batch * height * width, out_channels), dtype=x.dtype)
+    out_flat = out4.reshape(out_channels, -1) if transposed else None
+
+    def run():
+        np.copyto(inner, data4)
+        np.copyto(cols6, patches)
+        if transposed:
+            np.matmul(flat_w, cols.T, out=out_flat)
+            if bias is not None:
+                np.add(out_flat, bias[:, None], out=out_flat)
+            return
+        np.matmul(cols, flat_w.T, out=mm)
+        if bias is not None:
+            np.add(mm, bias, out=mm)
+        if not adopted:
+            np.copyto(out4, mm.reshape(batch, height, width,
+                                       out_channels).transpose(0, 3, 1, 2))
+    return run
+
+
+def _fwd_avgpool2d(node, scratch):
+    kernel, pad = node._ctx
+    a, out = node._prev[0].data, node.data
+    height, width = a.shape[-2:]
+    scale = 1.0 / (kernel * kernel)
+    padded = _zeros_with_layout(
+        a.shape[:-2] + (height + 2 * pad, width + 2 * pad), a)
+    inner = padded[..., pad:pad + height, pad:pad + width]
+
+    def run():
+        np.copyto(inner, a)
+        out.fill(0.0)
+        for ky in range(kernel):
+            for kx in range(kernel):
+                np.add(out, padded[..., ky:ky + height, kx:kx + width],
+                       out=out)
+        np.multiply(out, scale, out=out)
+    return run
+
+
+_FWD = {
+    "add": _fwd_add,
+    "mul": _fwd_mul,
+    "pow": _fwd_pow,
+    "matmul": _fwd_matmul,
+    "exp": _fwd_exp,
+    "log": _fwd_log,
+    "tanh": _fwd_tanh,
+    "sigmoid": _fwd_sigmoid,
+    "relu": _fwd_relu,
+    "leaky_relu": _fwd_leaky_relu,
+    "abs": _fwd_abs,
+    "softmax": _fwd_softmax,
+    "log_softmax": _fwd_log_softmax,
+    "sum": _fwd_sum,
+    "max": _fwd_max,
+    "reshape": _fwd_reshape,
+    "swapaxes": _fwd_swapaxes,
+    "transpose": _fwd_transpose,
+    "expand_dims": _fwd_expand_dims,
+    "squeeze": _fwd_squeeze,
+    "getitem": _fwd_getitem,
+    "concat": _fwd_concat,
+    "stack": _fwd_stack,
+    "dropout": _fwd_dropout,
+    "conv2d": _fwd_conv2d,
+    "avgpool2d": _fwd_avgpool2d,
+}
+
+# ----------------------------------------------------------------------
+# Backward kernel builders:
+#   op tag -> fn(node, grads, written, scratch) -> callable | None
+# ``grads`` maps id(tensor) -> preallocated gradient buffer; ``written``
+# is the static first-write analysis driven by _mark().
+# ----------------------------------------------------------------------
+
+def _bwd_add(node, grads, written, scratch):
+    g = grads[id(node)]
+    sinks = []
+    for p in node._prev:
+        if p.requires_grad:
+            sinks.append(_contrib_sink(grads[id(p)], g.shape,
+                                       _mark(written, id(p))))
+
+    def run():
+        for sink in sinks:
+            sink(g)
+    return run
+
+
+def _bwd_mul(node, grads, written, scratch):
+    g = grads[id(node)]
+    a, b = node._prev
+    runs = []
+    for self_t, other_t in ((a, b), (b, a)):
+        if not self_t.requires_grad:
+            continue
+        pg = grads[id(self_t)]
+        other = other_t.data
+        store = _mark(written, id(self_t))
+        if pg.shape == g.shape:
+            if store:
+                runs.append(lambda pg=pg, other=other:
+                            np.multiply(g, other, out=pg))
+            else:
+                tmp = np.empty_like(g)
+
+                def accumulate(pg=pg, other=other, tmp=tmp):
+                    np.multiply(g, other, out=tmp)
+                    np.add(pg, tmp, out=pg)
+                runs.append(accumulate)
+        else:
+            sink = _contrib_sink(pg, g.shape, store)
+            runs.append(lambda sink=sink, other=other: sink(g * other))
+
+    def run():
+        for fn in runs:
+            fn()
+    return run
+
+
+def _bwd_pow(node, grads, written, scratch):
+    (exponent,) = node._ctx
+    g = grads[id(node)]
+    parent = node._prev[0]
+    a = parent.data
+    sink = _contrib_sink(grads[id(parent)], g.shape, _mark(written, id(parent)))
+    return lambda: sink(g * exponent * a ** (exponent - 1.0))
+
+
+def _bwd_matmul(node, grads, written, scratch):
+    g = grads[id(node)]
+    a_t, b_t = node._prev
+    a, b = a_t.data, b_t.data
+    runs = []
+    if a_t.requires_grad:
+        pg = grads[id(a_t)]
+        store = _mark(written, id(a_t))
+        if b.ndim == 1:
+            shape = g.shape + b.shape
+            sink = _contrib_sink(pg, shape, store)
+            runs.append(lambda sink=sink: sink(np.expand_dims(g, -1) * b))
+        elif a.ndim == 1:
+            axes = tuple(range(b.ndim - 2)) + (-1,)
+            sink = _contrib_sink(pg, a.shape, store)
+            runs.append(lambda sink=sink, axes=axes:
+                        sink((np.expand_dims(g, -2) * b).sum(axis=axes)))
+        else:
+            b_T = b.swapaxes(-1, -2)
+            shape = (np.broadcast_shapes(g.shape[:-2], b_T.shape[:-2])
+                     + (g.shape[-2], b_T.shape[-1]))
+            if store and tuple(shape) == pg.shape:
+                runs.append(lambda pg=pg, b_T=b_T: np.matmul(g, b_T, out=pg))
+            else:
+                sink = _contrib_sink(pg, shape, store)
+                runs.append(lambda sink=sink, b_T=b_T: sink(g @ b_T))
+    if b_t.requires_grad:
+        pg = grads[id(b_t)]
+        store = _mark(written, id(b_t))
+        if a.ndim == 1:
+            if b.ndim == 1:
+                sink = _contrib_sink(pg, b.shape, store)
+
+                def run_b(sink=sink):
+                    contrib = np.expand_dims(a, -1) * np.expand_dims(g, -2)
+                    sink(contrib.sum(axis=tuple(range(contrib.ndim - 1))))
+                runs.append(run_b)
+            else:
+                shape = np.broadcast_shapes(
+                    (a.shape[0], 1), np.expand_dims(g, -2).shape)
+                sink = _contrib_sink(pg, shape, store)
+                runs.append(lambda sink=sink: sink(
+                    np.expand_dims(a, -1) * np.expand_dims(g, -2)))
+        elif b.ndim == 1:
+            axes = tuple(range(a.ndim - 1))
+            sink = _contrib_sink(pg, b.shape, store)
+            runs.append(lambda sink=sink, axes=axes:
+                        sink((np.expand_dims(g, -1) * a).sum(axis=axes)))
+        else:
+            a_T = a.swapaxes(-1, -2)
+            shape = (np.broadcast_shapes(a_T.shape[:-2], g.shape[:-2])
+                     + (a_T.shape[-2], g.shape[-1]))
+            if store and tuple(shape) == pg.shape:
+                runs.append(lambda pg=pg, a_T=a_T: np.matmul(a_T, g, out=pg))
+            else:
+                sink = _contrib_sink(pg, shape, store)
+                runs.append(lambda sink=sink, a_T=a_T: sink(a_T @ g))
+
+    def run():
+        for fn in runs:
+            fn()
+    return run
+
+
+def _bwd_exp(node, grads, written, scratch):
+    g = grads[id(node)]
+    parent = node._prev[0]
+    out = node.data
+    sink = _contrib_sink(grads[id(parent)], g.shape, _mark(written, id(parent)))
+    return lambda: sink(g * out)
+
+
+def _bwd_log(node, grads, written, scratch):
+    g = grads[id(node)]
+    parent = node._prev[0]
+    a = parent.data
+    sink = _contrib_sink(grads[id(parent)], g.shape, _mark(written, id(parent)))
+    return lambda: sink(g / a)
+
+
+def _bwd_tanh(node, grads, written, scratch):
+    g = grads[id(node)]
+    parent = node._prev[0]
+    out = node.data
+    sink = _contrib_sink(grads[id(parent)], g.shape, _mark(written, id(parent)))
+    return lambda: sink(g * (1.0 - out ** 2))
+
+
+def _bwd_sigmoid(node, grads, written, scratch):
+    g = grads[id(node)]
+    parent = node._prev[0]
+    out = node.data
+    sink = _contrib_sink(grads[id(parent)], g.shape, _mark(written, id(parent)))
+    return lambda: sink(g * out * (1.0 - out))
+
+
+def _bwd_relu(node, grads, written, scratch):
+    g = grads[id(node)]
+    parent = node._prev[0]
+    a = parent.data
+    sink = _contrib_sink(grads[id(parent)], g.shape, _mark(written, id(parent)))
+    return lambda: sink(g * (a > 0.0))
+
+
+def _bwd_leaky_relu(node, grads, written, scratch):
+    (slope,) = node._ctx
+    g = grads[id(node)]
+    parent = node._prev[0]
+    a = parent.data
+    sink = _contrib_sink(grads[id(parent)], g.shape, _mark(written, id(parent)))
+    # g * where(a > 0, 1, slope): the kept branch g*1.0 is bitwise g.
+    return lambda: sink(np.where(a > 0.0, g, g * slope))
+
+
+def _bwd_abs(node, grads, written, scratch):
+    g = grads[id(node)]
+    parent = node._prev[0]
+    a = parent.data
+    sink = _contrib_sink(grads[id(parent)], g.shape, _mark(written, id(parent)))
+    return lambda: sink(g * np.sign(a))
+
+
+def _bwd_softmax(node, grads, written, scratch):
+    (axis,) = node._ctx
+    g = grads[id(node)]
+    parent = node._prev[0]
+    out = node.data
+    pg = grads[id(parent)]
+    store = _mark(written, id(parent))
+    # dx = out ⊙ (g − Σ g⊙out) staged through one buffer: the parent
+    # grad itself when storing, a preallocated scratch when accumulating.
+    tmp = pg if (store and pg.shape == g.shape) else np.empty_like(g)
+
+    def run():
+        np.multiply(g, out, out=tmp)
+        dot = tmp.sum(axis=axis, keepdims=True)
+        np.subtract(g, dot, out=tmp)
+        np.multiply(out, tmp, out=tmp)
+        if tmp is not pg:
+            np.add(pg, tmp, out=pg)
+    return run
+
+
+def _bwd_log_softmax(node, grads, written, scratch):
+    (axis,) = node._ctx
+    g = grads[id(node)]
+    parent = node._prev[0]
+    out = node.data
+    sink = _contrib_sink(grads[id(parent)], g.shape, _mark(written, id(parent)))
+
+    def run():
+        total = g.sum(axis=axis, keepdims=True)
+        sink(g - np.exp(out) * total)
+    return run
+
+
+def _bwd_sum(node, grads, written, scratch):
+    axis, keepdims = node._ctx
+    g = grads[id(node)]
+    parent = node._prev[0]
+    pg = grads[id(parent)]
+    store = _mark(written, id(parent))
+    if axis is not None and not keepdims:
+        axes = (axis,) if isinstance(axis, int) else axis
+        expand = tuple(ax % parent.ndim for ax in axes)
+    else:
+        expand = None
+
+    def run():
+        ge = np.expand_dims(g, expand) if expand is not None else g
+        if store:
+            np.copyto(pg, ge)       # copyto broadcasts ge up to pg
+        else:
+            np.add(pg, ge, out=pg)
+    return run
+
+
+def _bwd_max(node, grads, written, scratch):
+    axis, keepdims = node._ctx
+    g = grads[id(node)]
+    parent = node._prev[0]
+    a = parent.data
+    sink = _contrib_sink(grads[id(parent)], a.shape, _mark(written, id(parent)))
+
+    def run():
+        expanded = a.max(axis=axis, keepdims=True)
+        mask = (a == expanded).astype(a.dtype)
+        mask /= mask.sum(axis=axis, keepdims=True)
+        ge = g
+        if axis is not None and not keepdims:
+            ge = np.expand_dims(g, axis)
+        sink(mask * ge)
+    return run
+
+
+def _bwd_reshape(node, grads, written, scratch):
+    g = grads[id(node)]
+    parent = node._prev[0]
+    shape = parent.shape
+    sink = _contrib_sink(grads[id(parent)], shape, _mark(written, id(parent)))
+    return lambda: sink(g.reshape(shape))
+
+
+def _bwd_swapaxes(node, grads, written, scratch):
+    ax1, ax2 = node._ctx
+    g = grads[id(node)]
+    parent = node._prev[0]
+    sink = _contrib_sink(grads[id(parent)], parent.shape,
+                         _mark(written, id(parent)))
+    return lambda: sink(g.swapaxes(ax1, ax2))
+
+
+def _bwd_transpose(node, grads, written, scratch):
+    (axes,) = node._ctx
+    inverse = np.argsort(axes)
+    g = grads[id(node)]
+    parent = node._prev[0]
+    sink = _contrib_sink(grads[id(parent)], parent.shape,
+                         _mark(written, id(parent)))
+    return lambda: sink(g.transpose(inverse))
+
+
+def _bwd_expand_dims(node, grads, written, scratch):
+    (axis,) = node._ctx
+    g = grads[id(node)]
+    parent = node._prev[0]
+    sink = _contrib_sink(grads[id(parent)], parent.shape,
+                         _mark(written, id(parent)))
+    return lambda: sink(g.squeeze(axis))
+
+
+def _bwd_squeeze(node, grads, written, scratch):
+    (axis,) = node._ctx
+    g = grads[id(node)]
+    parent = node._prev[0]
+    sink = _contrib_sink(grads[id(parent)], parent.shape,
+                         _mark(written, id(parent)))
+    return lambda: sink(np.expand_dims(g, axis))
+
+
+def _bwd_getitem(node, grads, written, scratch):
+    (index,) = node._ctx
+    g = grads[id(node)]
+    parent = node._prev[0]
+    pg = grads[id(parent)]
+    store = _mark(written, id(parent))
+    basic = _is_basic_index(index)
+
+    def run():
+        if store:
+            pg.fill(0.0)            # a slice write covers pg only partially
+        if basic:
+            pg[index] += g
+        else:
+            np.add.at(pg, index, g)
+    return run
+
+
+def _bwd_concat(node, grads, written, scratch):
+    (axis,) = node._ctx
+    g = grads[id(node)]
+    ax = axis % node.ndim
+    runs = []
+    offset = 0
+    for p in node._prev:
+        size = p.shape[ax]
+        if p.requires_grad:
+            idx = (slice(None),) * ax + (slice(offset, offset + size),)
+            sink = _contrib_sink(grads[id(p)], p.shape, _mark(written, id(p)))
+            runs.append(lambda sink=sink, idx=idx: sink(g[idx]))
+        offset += size
+
+    def run():
+        for fn in runs:
+            fn()
+    return run
+
+
+def _bwd_stack(node, grads, written, scratch):
+    (axis,) = node._ctx
+    g = grads[id(node)]
+    ax = axis % node.ndim
+    runs = []
+    for i, p in enumerate(node._prev):
+        if p.requires_grad:
+            idx = (slice(None),) * ax + (i,)
+            sink = _contrib_sink(grads[id(p)], p.shape, _mark(written, id(p)))
+            runs.append(lambda sink=sink, idx=idx: sink(g[idx]))
+
+    def run():
+        for fn in runs:
+            fn()
+    return run
+
+
+def _bwd_dropout(node, grads, written, scratch):
+    g = grads[id(node)]
+    parent = node._prev[0]
+    mask = scratch[id(node)]
+    pg = grads[id(parent)]
+    store = _mark(written, id(parent))
+    if store:
+        return lambda: np.multiply(g, mask, out=pg)
+    return lambda: np.add(pg, g * mask, out=pg)
+
+
+def _bwd_conv2d(node, grads, written, scratch):
+    kernel, pad, batched, _ = node._ctx
+    g = grads[id(node)]
+    x_t, w_t = node._prev[0], node._prev[1]
+    bias_t = node._prev[2] if len(node._prev) > 2 else None
+    x, weight = x_t.data, w_t.data
+    cols = scratch[id(node)]
+    data4_shape = x.shape if batched else (1,) + x.shape
+    batch, channels, height, width = data4_shape
+    out_channels = weight.shape[0]
+    flat_w = weight.reshape(out_channels, -1)
+    g4 = g if batched else g[None]
+    # With a contiguous channel-first gradient (the gate-fusion layout)
+    # the whole backward runs off the transposed (O, H·W) view — the
+    # same dot products, no transposition pass.
+    transposed = batch == 1 and g4.flags.c_contiguous
+    if transposed:
+        g_om = g4.reshape(out_channels, -1)
+        gs4 = gflat = None
+    else:
+        g_om = None
+        gs4 = np.empty((batch, height, width, out_channels), dtype=g.dtype)
+        gflat = gs4.reshape(-1, out_channels)
+    runs = []
+    if w_t.requires_grad:
+        wg = grads[id(w_t)]
+        store = _mark(written, id(w_t))
+        wg_flat = wg.reshape(out_channels, -1)
+        if transposed:
+            if store:
+                runs.append(lambda: np.matmul(g_om, cols, out=wg_flat))
+            else:
+                runs.append(lambda: np.add(wg_flat, g_om @ cols, out=wg_flat))
+        elif store:
+            runs.append(lambda: np.matmul(gflat.T, cols, out=wg_flat))
+        else:
+            runs.append(lambda: np.add(
+                wg, (gflat.T @ cols).reshape(wg.shape), out=wg))
+    if bias_t is not None and bias_t.requires_grad:
+        sink = _contrib_sink(grads[id(bias_t)], (out_channels,),
+                             _mark(written, id(bias_t)))
+        if transposed:
+            runs.append(lambda: sink(g_om.sum(axis=1)))
+        else:
+            runs.append(lambda: sink(gflat.sum(axis=0)))
+    if x_t.requires_grad:
+        pg = grads[id(x_t)]
+        store = _mark(written, id(x_t))
+        gcols = np.empty((channels * kernel * kernel,
+                          batch * height * width) if transposed else
+                         (batch * height * width,
+                          channels * kernel * kernel), dtype=g.dtype)
+        if transposed:
+            gcols6 = gcols.reshape(channels, kernel, kernel,
+                                   batch, height, width)
+        else:
+            gcols6 = gcols.reshape(batch, height, width,
+                                   channels, kernel, kernel)
+        gpadded = np.empty((batch, channels, height + 2 * pad,
+                            width + 2 * pad), dtype=g.dtype)
+        crop = (gpadded[:, :, pad:-pad, pad:-pad] if pad else gpadded)
+
+        def run_x():
+            if transposed:
+                np.matmul(flat_w.T, g_om, out=gcols)
+            else:
+                np.matmul(gflat, flat_w, out=gcols)
+            gpadded.fill(0.0)
+            for ky in range(kernel):
+                for kx in range(kernel):
+                    if transposed:
+                        gpadded[:, :, ky:ky + height, kx:kx + width] += \
+                            gcols6[:, ky, kx].swapaxes(0, 1)
+                    else:
+                        gpadded[:, :, ky:ky + height, kx:kx + width] += \
+                            gcols6[:, :, :, :, ky, kx].transpose(0, 3, 1, 2)
+            contrib = crop if batched else crop[0]
+            if store:
+                np.copyto(pg, contrib)
+            else:
+                np.add(pg, contrib, out=pg)
+        runs.append(run_x)
+
+    def run():
+        if not transposed:
+            np.copyto(gs4, g4.transpose(0, 2, 3, 1))
+        for fn in runs:
+            fn()
+    return run
+
+
+def _bwd_avgpool2d(node, grads, written, scratch):
+    kernel, pad = node._ctx
+    g = grads[id(node)]
+    parent = node._prev[0]
+    pg = grads[id(parent)]
+    store = _mark(written, id(parent))
+    height, width = parent.shape[-2:]
+    scale = 1.0 / (kernel * kernel)
+    gpadded = _zeros_with_layout(
+        parent.shape[:-2] + (height + 2 * pad, width + 2 * pad), g)
+    crop = gpadded[..., pad:-pad, pad:-pad] if pad else gpadded
+
+    def run():
+        gpadded.fill(0.0)
+        for ky in range(kernel):
+            for kx in range(kernel):
+                gpadded[..., ky:ky + height, kx:kx + width] += g
+        np.multiply(gpadded, scale, out=gpadded)
+        if store:
+            np.copyto(pg, crop)
+        else:
+            np.add(pg, crop, out=pg)
+    return run
+
+
+# ----------------------------------------------------------------------
+# Gate-chain fusion (RegionSA Eq. 13-14): AvgPool2d -> softmax -> ⊙
+# ----------------------------------------------------------------------
+#
+# The (c, n, n) correlation path is pure memory bandwidth: pool, gate
+# softmax and the A' ⊙ softmax(A') product each sweep a multi-megabyte
+# array that was just written.  Fusing the three ops into one
+# channel-blocked kernel keeps the per-channel intermediates close to
+# cache, and the 3x3 pool becomes two separable 3-tap passes.  Channels
+# are independent for all three ops and the softmax rows are reduced
+# per row either way, so the only deviation from the eager arithmetic
+# is the re-association of the 9 pool additions (≈1e-16 relative
+# rounding, covered by the ≤1e-8 parity budget).  The pattern is
+# matched conservatively (each intermediate consumed only inside the
+# chain); anything else falls back to the generic per-op kernels.
+
+def _find_gate_fusions(nodes: list[Tensor]) -> list[tuple[Tensor, Tensor, Tensor]]:
+    consumers: dict[int, list[Tensor]] = {}
+    for n in nodes:
+        for p in n._prev:
+            consumers.setdefault(id(p), []).append(n)
+    fusions = []
+    for mul in nodes:
+        if mul._op != "mul" or len(mul._prev) != 2:
+            continue
+        pool, gate = mul._prev
+        if pool._op != "avgpool2d" or gate._op != "softmax":
+            continue
+        if pool._ctx != (3, 1):   # separable 3-tap kernels below
+            continue
+        if gate._prev[0] is not pool or pool.ndim < 3:
+            continue
+        if gate._ctx[0] not in (-1, pool.ndim - 1):
+            continue
+        if not (pool.shape == gate.shape == mul.shape):
+            continue
+        pool_cons = consumers.get(id(pool), [])
+        gate_cons = consumers.get(id(gate), [])
+        if len(pool_cons) != 2 or {id(c) for c in pool_cons} != {id(gate), id(mul)}:
+            continue
+        if len(gate_cons) != 1 or gate_cons[0] is not mul:
+            continue
+        fusions.append((pool, gate, mul))
+    return fusions
+
+
+def _separable_avg3(src, dst, colbuf, scale):
+    """Same-padding 3x3 uniform window sum of ``src`` into ``dst`` (times
+    ``scale``) via two 3-tap passes.  The operator equals the eager
+    9-window loop; only the order of the 9 additions differs (≈1e-16
+    relative rounding).  Symmetric, so it is also its own adjoint —
+    the backward pass reuses it on the gradient."""
+    np.copyto(colbuf, src)
+    colbuf[..., 1:, :] += src[..., :-1, :]
+    colbuf[..., :-1, :] += src[..., 1:, :]
+    np.copyto(dst, colbuf)
+    dst[..., :, 1:] += colbuf[..., :, :-1]
+    dst[..., :, :-1] += colbuf[..., :, 1:]
+    np.multiply(dst, scale, out=dst)
+
+
+def _fused_gate_forward(pool: Tensor, gate_n: Tensor, mul_n: Tensor):
+    x = pool._prev[0].data
+    corr, gate, gated = pool.data, gate_n.data, mul_n.data
+    height, width = x.shape[-2:]
+    channels = x.shape[-3]
+    lead = x.shape[:-3]
+    colbuf = np.empty(lead + (height, width), dtype=x.dtype)
+
+    def run():
+        for c in range(channels):
+            cc = corr[..., c, :, :]
+            gc = gate[..., c, :, :]
+            _separable_avg3(x[..., c, :, :], cc, colbuf, 1.0 / 9.0)
+            np.subtract(cc, cc.max(axis=-1, keepdims=True), out=gc)
+            np.exp(gc, out=gc)
+            np.divide(gc, gc.sum(axis=-1, keepdims=True), out=gc)
+            np.multiply(cc, gc, out=gated[..., c, :, :])
+    return run
+
+
+def _fused_gate_backward(pool: Tensor, gate_n: Tensor, mul_n: Tensor,
+                         grads, written):
+    g_gated = grads[id(mul_n)]
+    corr, gate = pool.data, gate_n.data
+    parent = pool._prev[0]
+    pg = grads[id(parent)]
+    store = _mark(written, id(parent))
+    height, width = corr.shape[-2:]
+    channels = corr.shape[-3]
+    lead = corr.shape[:-3]
+    dcorr = np.empty(lead + (height, width), dtype=corr.dtype)
+    dgate = np.empty_like(dcorr)
+    tmp = np.empty_like(dcorr)
+    colbuf = np.empty_like(dcorr)
+
+    def run():
+        for c in range(channels):
+            gg = g_gated[..., c, :, :]
+            cc = corr[..., c, :, :]
+            gc = gate[..., c, :, :]
+            # ⊙ backward, in parent order (corr, gate), then the fused
+            # softmax backward accumulated into dcorr — the same edge
+            # order the generic kernels execute.
+            np.multiply(gg, gc, out=dcorr)
+            np.multiply(gg, cc, out=dgate)
+            np.multiply(dgate, gc, out=tmp)
+            dot = tmp.sum(axis=-1, keepdims=True)
+            np.subtract(dgate, dot, out=tmp)
+            np.multiply(gc, tmp, out=tmp)
+            np.add(dcorr, tmp, out=dcorr)
+            # avgpool is self-adjoint: pooling the gradient IS the
+            # backward scatter (same separable 3-tap operator).
+            target = pg[..., c, :, :]
+            if store:
+                _separable_avg3(dcorr, target, colbuf, 1.0 / 9.0)
+            else:
+                _separable_avg3(dcorr, tmp, colbuf, 1.0 / 9.0)
+                np.add(target, tmp, out=target)
+    return run
+
+
+_BWD = {
+    "add": _bwd_add,
+    "mul": _bwd_mul,
+    "pow": _bwd_pow,
+    "matmul": _bwd_matmul,
+    "exp": _bwd_exp,
+    "log": _bwd_log,
+    "tanh": _bwd_tanh,
+    "sigmoid": _bwd_sigmoid,
+    "relu": _bwd_relu,
+    "leaky_relu": _bwd_leaky_relu,
+    "abs": _bwd_abs,
+    "softmax": _bwd_softmax,
+    "log_softmax": _bwd_log_softmax,
+    "sum": _bwd_sum,
+    "max": _bwd_max,
+    "reshape": _bwd_reshape,
+    "swapaxes": _bwd_swapaxes,
+    "transpose": _bwd_transpose,
+    "expand_dims": _bwd_expand_dims,
+    "squeeze": _bwd_squeeze,
+    "getitem": _bwd_getitem,
+    "concat": _bwd_concat,
+    "stack": _bwd_stack,
+    "dropout": _bwd_dropout,
+    "conv2d": _bwd_conv2d,
+    "avgpool2d": _bwd_avgpool2d,
+}
+
+
+# ----------------------------------------------------------------------
+# Plan: the lowered program
+# ----------------------------------------------------------------------
+
+class Plan:
+    """A recorded step lowered to flat forward/backward kernel lists.
+
+    Built from the loss tensor of one eager step run under
+    :func:`repro.nn.tensor.record_tape`.  Adopts every traced array as a
+    permanent slot buffer: parameters contribute their (in-place updated)
+    ``.data`` arrays, constants keep the values recorded at trace time,
+    and each intermediate keeps the array the eager op allocated.
+    Gradient buffers are preallocated per slot and never zeroed — a
+    static first-write analysis turns the first contribution into a
+    store.
+    """
+
+    def __init__(self, loss: Tensor, nodes: list[Tensor]):
+        if not loss.requires_grad or loss.size != 1:
+            raise ValueError("plan requires a scalar loss with requires_grad")
+        recorded = {id(n) for n in nodes}
+        # Reachable-from-loss subgraph (the part that owes gradients).
+        reachable: dict[int, Tensor] = {}
+        stack = [loss]
+        while stack:
+            t = stack.pop()
+            if id(t) in reachable:
+                continue
+            reachable[id(t)] = t
+            if t._prev and id(t) not in recorded:
+                raise RuntimeError(
+                    "loss depends on graph nodes created outside the "
+                    "recorded step; build all differentiable state inside "
+                    "the loss function")
+            stack.extend(t._prev)
+
+        self._loss_data = loss.data
+        # Gate-chain fusion first: its nodes get contiguous channel-first
+        # buffers (the eager views are channel-last, which would make the
+        # per-channel blocked kernels strided) — before any builder or
+        # gradient buffer captures a layout.
+        fusions = _find_gate_fusions(nodes)
+        fuse_fwd_head = {id(f[0]): f for f in fusions}
+        fuse_fwd_skip = {id(t) for f in fusions for t in f[1:]}
+        fuse_bwd_head = {id(f[2]): f for f in fusions}
+        fuse_bwd_skip = {id(t) for f in fusions for t in f[:2]}
+        for fusion in fusions:
+            targets = list(fusion)
+            # The pool's input too: channel-sliced reads of a channel-last
+            # array touch one cache line per element (a 16x traffic blow-
+            # up); one contiguous materialization up front is far cheaper.
+            # Views and leaves keep their buffers (a view's noop forward
+            # and a parameter's identity both depend on them).
+            parent = fusion[0]._prev[0]
+            if parent._prev and not _is_view(parent):
+                targets.append(parent)
+            for t in targets:
+                if not t.data.flags.c_contiguous:
+                    t.data = np.ascontiguousarray(t.data)
+
+        # Gradient buffers are C-contiguous: the fusion pass above already
+        # normalized the conv path's channel-last activations, and BLAS
+        # wants contiguous `out=` targets for the direct matmul-backward
+        # fast path.  Fused-away intermediates keep their gradients in
+        # kernel-local scratch instead.
+        grads: dict[int, np.ndarray] = {
+            tid: np.empty(t.data.shape, dtype=t.data.dtype)
+            for tid, t in reachable.items()
+            if t.requires_grad and tid not in fuse_bwd_skip
+        }
+        grads[id(loss)][...] = 1.0   # seed; loss has no consumers
+        self._grads = grads
+
+        scratch: dict[int, object] = {}
+        self._forward_ops: list[Callable[[], None]] = []
+        for node in nodes:
+            if id(node) in fuse_fwd_skip:
+                continue
+            if id(node) in fuse_fwd_head:
+                self._forward_ops.append(
+                    _fused_gate_forward(*fuse_fwd_head[id(node)]))
+                continue
+            builder = _FWD.get(node._op)
+            if builder is None:
+                raise NotImplementedError(
+                    f"op {node._op!r} has no compiled forward kernel")
+            fn = builder(node, scratch)
+            if fn is not None:
+                self._forward_ops.append(fn)
+
+        self._backward_ops: list[Callable[[], None]] = []
+        written: set[int] = {id(loss)}
+        for node in reversed(nodes):
+            if id(node) not in reachable or id(node) in fuse_bwd_skip:
+                continue
+            if id(node) in fuse_bwd_head:
+                self._backward_ops.append(_fused_gate_backward(
+                    *fuse_bwd_head[id(node)], grads, written))
+                continue
+            builder = _BWD.get(node._op)
+            if builder is None:
+                raise NotImplementedError(
+                    f"op {node._op!r} has no compiled backward kernel")
+            fn = builder(node, grads, written, scratch)
+            if fn is not None:
+                self._backward_ops.append(fn)
+        self.num_fused_chains = len(fusions)
+
+        #: requires-grad leaves (parameters and gradcheck inputs) in
+        #: discovery order, with their plan-owned gradient buffers.
+        self.leaves = [(t, grads[tid]) for tid, t in reachable.items()
+                       if t.requires_grad and not t._prev]
+        self._param_buffers = [(t, t.data) for t, _ in self.leaves
+                               if isinstance(t, Parameter)]
+        self.op_counts: dict[str, int] = {}
+        for node in nodes:
+            self.op_counts[node._op] = self.op_counts.get(node._op, 0) + 1
+
+    # ------------------------------------------------------------------
+    @property
+    def num_forward_ops(self) -> int:
+        return len(self._forward_ops)
+
+    @property
+    def num_backward_ops(self) -> int:
+        return len(self._backward_ops)
+
+    def params_current(self) -> bool:
+        """Whether every traced parameter still owns its adopted buffer
+        (``load_state_dict`` and manual reassignment break this)."""
+        return all(t.data is buf for t, buf in self._param_buffers)
+
+    def forward(self) -> float:
+        """Replay the forward pass in-place; returns the loss value."""
+        for fn in self._forward_ops:
+            fn()
+        return float(self._loss_data)
+
+    def backward(self) -> None:
+        """Replay the backward pass and bind leaf gradients.
+
+        Leaf ``.grad`` attributes are pointed at the plan's reusable
+        buffers (marked not-owned, so any later eager accumulation copies
+        rather than corrupting them).
+        """
+        for fn in self._backward_ops:
+            fn()
+        for t, buf in self.leaves:
+            t.grad = buf
+            t._grad_owned = False
+
+    def replay(self) -> float:
+        """One full step: forward + backward; returns the loss value."""
+        value = self.forward()
+        self.backward()
+        return value
+
+
+# ----------------------------------------------------------------------
+# CompiledStep: record/replay with automatic eager fallback
+# ----------------------------------------------------------------------
+
+class CompiledStep:
+    """Record-once/replay-many executor for a fixed-shape training step.
+
+    Parameters
+    ----------
+    loss_fn:
+        Zero-argument callable returning the scalar loss tensor.  The
+        first call (and any re-record) runs it eagerly under the tape
+        recorder; replays never call it.
+    signature_fn:
+        Optional zero-argument callable returning a hashable signature of
+        the step's shapes.  When the signature changes between calls the
+        stale plan is dropped and the step falls back to one eager
+        (re-recording) execution — the automatic shape-change fallback.
+
+    ``run()`` computes loss + all leaf gradients and returns the loss
+    value; callers clip/step exactly as in eager mode.
+    """
+
+    def __init__(self, loss_fn: Callable[[], Tensor],
+                 signature_fn: Callable[[], Hashable] | None = None):
+        self._loss_fn = loss_fn
+        self._signature_fn = signature_fn
+        self._plan: Plan | None = None
+        self._signature: Hashable | None = None
+        self.compile_count = 0   # number of (re-)recordings performed
+
+    @property
+    def plan(self) -> Plan | None:
+        return self._plan
+
+    def _stale(self, signature: Hashable | None) -> bool:
+        if self._plan is None:
+            return True
+        if self._signature_fn is not None and signature != self._signature:
+            return True
+        return not self._plan.params_current()
+
+    def run(self) -> float:
+        """One training step's forward+backward; returns the loss value."""
+        signature = self._signature_fn() if self._signature_fn else None
+        if self._stale(signature):
+            return self._record(signature)
+        return self._plan.replay()
+
+    def _record(self, signature: Hashable | None) -> float:
+        with record_tape() as nodes:
+            loss = self._loss_fn()
+        self._plan = Plan(loss, nodes)
+        self._signature = signature
+        self.compile_count += 1
+        # The eager trace already holds this step's forward values in the
+        # adopted buffers; only the backward half needs replaying.
+        self._plan.backward()
+        return float(loss.data)
+
+
+def compile_step(loss_fn: Callable[[], Tensor],
+                 signature_fn: Callable[[], Hashable] | None = None) -> CompiledStep:
+    """Convenience constructor mirroring ``torch.compile``'s shape."""
+    return CompiledStep(loss_fn, signature_fn)

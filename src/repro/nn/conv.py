@@ -112,6 +112,9 @@ class Conv2d(Module):
         parents = [x, self.weight] + ([self.bias] if self.bias is not None else [])
         out = Tensor._make(out_data, parents, "conv2d")
         if out.requires_grad:
+            # ``cols`` rides along so a compiled plan can adopt the im2col
+            # buffer instead of reading one it never filled.
+            out._ctx = (kernel, pad, batched, cols)
             weight, bias = self.weight, self.bias
 
             def backward():
@@ -162,6 +165,8 @@ class AvgPool2d(Module):
 
         out = Tensor._make(out_data, [x], "avgpool2d")
         if out.requires_grad:
+            out._ctx = (kernel, pad)
+
             def backward():
                 grad_padded = np.zeros(x.shape[:-2] + (height + 2 * pad, width + 2 * pad),
                                        dtype=out.grad.dtype)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, is_recording
 
 __all__ = [
     "softmax",
@@ -88,14 +88,36 @@ def gelu(x: Tensor) -> Tensor:
 
 
 def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator | None = None) -> Tensor:
-    """Inverted dropout: scales kept activations by ``1/(1-p)`` at train time."""
+    """Inverted dropout: scales kept activations by ``1/(1-p)`` at train time.
+
+    Recorded as a dedicated ``dropout`` tape node (rather than a multiply
+    by an anonymous constant) so the compiled executor can redraw the
+    mask from the same ``rng`` stream on every replay — keeping the draw
+    sequence identical to an eager run's.
+    """
     if not training or p <= 0.0:
         return x
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
     rng = rng if rng is not None else np.random.default_rng()
     mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
-    return x * Tensor(mask)
+    out = Tensor._make(x.data * mask, (x,), "dropout")
+    if is_recording() and not out.requires_grad:
+        # Off-tape dropout (constant input) cannot be replayed: its mask
+        # would freeze and the rng stream silently desynchronize from an
+        # eager run. Fail loudly rather than train wrong.
+        raise RuntimeError(
+            "dropout on a non-differentiable input cannot be compiled; "
+            "train this model in eager mode")
+    if out.requires_grad:
+        # The drawn mask rides along so a compiled plan can adopt it as
+        # the replayable mask buffer (redrawn in-place on later replays).
+        out._ctx = (p, rng, mask)
+
+        def backward():
+            x._accumulate(out.grad * mask)
+        out._backward = backward
+    return out
 
 
 def l1_normalize(x: Tensor, axis: int = -1) -> Tensor:

@@ -3,6 +3,14 @@
 The paper trains HAFusion with full-batch Adam (lr 5e-4); SGD is provided
 for tests and baselines. Both operate in-place on :class:`Parameter`
 arrays and never build autograd graphs.
+
+Updates are written *into* ``param.data`` (never ``param.data = new``)
+with preallocated moment/scratch buffers: the compiled training executor
+(:mod:`repro.nn.compile`) adopts each parameter's array as a plan buffer,
+so its identity must be stable across steps — and the in-place form also
+removes two large allocations per parameter per step. The arithmetic is
+expression-for-expression identical to the allocating form, keeping the
+golden training trajectory bit-for-bit unchanged.
 """
 
 from __future__ import annotations
@@ -70,7 +78,7 @@ class SGD(Optimizer):
                 velocity *= self.momentum
                 velocity += grad
                 grad = velocity
-            param.data = param.data - self.lr * grad
+            param.data -= self.lr * grad
 
 
 class Adam(Optimizer):
@@ -91,21 +99,34 @@ class Adam(Optimizer):
         self._step_count = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        # Two scratch buffers per parameter so one step allocates nothing.
+        self._s1 = [np.empty_like(p.data) for p in self.parameters]
+        self._s2 = [np.empty_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
         self._step_count += 1
         bias1 = 1.0 - self.beta1 ** self._step_count
         bias2 = 1.0 - self.beta2 ** self._step_count
-        for param, m, v in zip(self.parameters, self._m, self._v):
+        for param, m, v, s1, s2 in zip(self.parameters, self._m, self._v,
+                                       self._s1, self._s2):
             if param.grad is None:
                 continue
             grad = param.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
+            # m = beta1·m + (1-beta1)·grad ; v = beta2·v + (1-beta2)·grad·grad
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=s1)
+            m += s1
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, 1.0 - self.beta2, out=s1)
+            s1 *= grad
+            v += s1
+            # param -= lr·(m/bias1) / (sqrt(v/bias2) + eps)
+            np.divide(m, bias1, out=s1)
+            s1 *= self.lr
+            np.divide(v, bias2, out=s2)
+            np.sqrt(s2, out=s2)
+            s2 += self.eps
+            s1 /= s2
+            param.data -= s1

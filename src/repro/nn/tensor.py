@@ -35,12 +35,35 @@ __all__ = [
     "set_default_dtype",
     "get_default_dtype",
     "use_dtype",
+    "record_tape",
+    "is_recording",
 ]
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _GRAD_ENABLED = True
 _DEFAULT_DTYPE = np.float64
+#: Active tape recorder (a list collecting nodes in creation order), or
+#: None. Creation order is execution order, which is what lets
+#: :mod:`repro.nn.compile` replay stateful ops (dropout) with the same
+#: rng draw sequence the eager step used.
+_TAPE_RECORDER: list | None = None
+
+
+@contextlib.contextmanager
+def record_tape():
+    """Collect every graph node created in this context, in creation
+    order. Used by :mod:`repro.nn.compile` to capture one eager step as a
+    replayable plan. Nested recording is not supported."""
+    global _TAPE_RECORDER
+    if _TAPE_RECORDER is not None:
+        raise RuntimeError("tape recording is already active")
+    nodes: list[Tensor] = []
+    _TAPE_RECORDER = nodes
+    try:
+        yield nodes
+    finally:
+        _TAPE_RECORDER = None
 
 
 @contextlib.contextmanager
@@ -62,6 +85,11 @@ def no_grad():
 def is_grad_enabled() -> bool:
     """Return whether operations currently record gradients."""
     return _GRAD_ENABLED
+
+
+def is_recording() -> bool:
+    """Whether a :func:`record_tape` context is active."""
+    return _TAPE_RECORDER is not None
 
 
 def set_default_dtype(dtype) -> None:
@@ -114,6 +142,15 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad
 
 
+def _is_basic_index(index) -> bool:
+    """Whether ``index`` is numpy *basic* indexing (ints/slices/None/...),
+    which selects each element at most once — so a gradient scatter can be
+    a plain slice assignment instead of ``np.add.at``."""
+    items = index if isinstance(index, tuple) else (index,)
+    return all(item is None or item is Ellipsis or isinstance(item, (int, np.integer, slice))
+               for item in items)
+
+
 def _as_array(value: ArrayLike) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
@@ -135,7 +172,7 @@ class Tensor:
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op",
-                 "_grad_owned")
+                 "_ctx", "_grad_owned")
 
     __array_priority__ = 100  # ensure Tensor.__rmul__ wins over np.ndarray.__mul__
 
@@ -146,6 +183,10 @@ class Tensor:
         self._backward: Callable[[], None] | None = None
         self._prev: tuple[Tensor, ...] = ()
         self._op = ""
+        # Structured op parameters (axis, index, exponent, …) that, with
+        # ``_op`` and ``_prev``, make the node replayable by
+        # :mod:`repro.nn.compile` without re-running its closure.
+        self._ctx: tuple | None = None
         self._grad_owned = False
 
     # ------------------------------------------------------------------
@@ -203,6 +244,8 @@ class Tensor:
             out.requires_grad = True
             out._prev = tuple(parents)
             out._op = op
+            if _TAPE_RECORDER is not None:
+                _TAPE_RECORDER.append(out)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -274,6 +317,7 @@ class Tensor:
                 node._grad_owned = False
                 node._backward = None
                 node._prev = ()
+                node._ctx = None
 
     # ------------------------------------------------------------------
     # Elementwise arithmetic
@@ -329,6 +373,8 @@ class Tensor:
             raise TypeError("tensor exponents are not supported; use exp(log(x) * y)")
         out = Tensor._make(self.data ** exponent, (self,), "pow")
         if out.requires_grad:
+            out._ctx = (exponent,)
+
             def backward():
                 self._accumulate(_unbroadcast(out.grad * exponent * self.data ** (exponent - 1.0), self.shape))
             out._backward = backward
@@ -420,9 +466,16 @@ class Tensor:
         return out
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
-        scale = np.where(self.data > 0.0, 1.0, negative_slope)
+        # astype keeps the scale in this tensor's dtype: np.where with
+        # python-float branches yields float64, which would otherwise
+        # upcast the float32 backward product (copy=False makes this a
+        # no-op in the float64 default).
+        scale = np.where(self.data > 0.0, 1.0, negative_slope).astype(
+            self.data.dtype, copy=False)
         out = Tensor._make(self.data * scale, (self,), "leaky_relu")
         if out.requires_grad:
+            out._ctx = (negative_slope,)
+
             def backward():
                 self._accumulate(out.grad * scale)
             out._backward = backward
@@ -448,6 +501,8 @@ class Tensor:
         shifted /= shifted.sum(axis=axis, keepdims=True)
         out = Tensor._make(shifted, (self,), "softmax")
         if out.requires_grad:
+            out._ctx = (axis,)
+
             def backward():
                 g = out.grad
                 dot = (g * out.data).sum(axis=axis, keepdims=True)
@@ -464,6 +519,8 @@ class Tensor:
         log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
         out = Tensor._make(shifted - log_norm, (self,), "log_softmax")
         if out.requires_grad:
+            out._ctx = (axis,)
+
             def backward():
                 g = out.grad
                 total = g.sum(axis=axis, keepdims=True)
@@ -477,12 +534,17 @@ class Tensor:
     def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
         out = Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), "sum")
         if out.requires_grad:
+            out._ctx = (axis, keepdims)
+
             def backward():
                 grad = out.grad
                 if axis is not None and not keepdims:
                     axes = (axis,) if isinstance(axis, int) else axis
                     grad = np.expand_dims(grad, tuple(a % self.ndim for a in axes))
-                self._accumulate(np.broadcast_to(grad, self.shape).copy())
+                # A read-only broadcast view suffices: _accumulate either
+                # copies it (first, unowned contribution) or adds it into
+                # a buffer it already owns — never stores it raw.
+                self._accumulate(np.broadcast_to(grad, self.shape))
             out._backward = backward
         return out
 
@@ -503,11 +565,15 @@ class Tensor:
         out_data = self.data.max(axis=axis, keepdims=keepdims)
         out = Tensor._make(out_data, (self,), "max")
         if out.requires_grad:
-            expanded = self.data.max(axis=axis, keepdims=True)
-            mask = (self.data == expanded).astype(self.data.dtype)
-            mask = mask / mask.sum(axis=axis, keepdims=True)
+            out._ctx = (axis, keepdims)
 
             def backward():
+                # The argmax mask is built lazily, here rather than at
+                # forward time, so ``no_grad`` inference and forward-only
+                # passes never pay for it.
+                expanded = self.data.max(axis=axis, keepdims=True)
+                mask = (self.data == expanded).astype(self.data.dtype)
+                mask /= mask.sum(axis=axis, keepdims=True)
                 grad = out.grad
                 if axis is not None and not keepdims:
                     grad = np.expand_dims(grad, axis)
@@ -531,6 +597,8 @@ class Tensor:
     def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
         out = Tensor._make(self.data.swapaxes(axis1, axis2), (self,), "swapaxes")
         if out.requires_grad:
+            out._ctx = (axis1, axis2)
+
             def backward():
                 self._accumulate(out.grad.swapaxes(axis1, axis2))
             out._backward = backward
@@ -544,6 +612,7 @@ class Tensor:
         out = Tensor._make(self.data.transpose(axes), (self,), "transpose")
         if out.requires_grad:
             inverse = np.argsort(axes)
+            out._ctx = (axes,)
 
             def backward():
                 self._accumulate(out.grad.transpose(inverse))
@@ -553,9 +622,17 @@ class Tensor:
     def __getitem__(self, index) -> "Tensor":
         out = Tensor._make(self.data[index], (self,), "getitem")
         if out.requires_grad:
+            out._ctx = (index,)
+
             def backward():
                 grad = np.zeros_like(self.data)
-                np.add.at(grad, index, out.grad)
+                if _is_basic_index(index):
+                    # Basic indices select each element at most once, so
+                    # plain (fast) slice assignment replaces the slow
+                    # general scatter-add.
+                    grad[index] = out.grad
+                else:
+                    np.add.at(grad, index, out.grad)
                 self._accumulate(grad)
             out._backward = backward
         return out
@@ -563,6 +640,8 @@ class Tensor:
     def expand_dims(self, axis: int) -> "Tensor":
         out = Tensor._make(np.expand_dims(self.data, axis), (self,), "expand_dims")
         if out.requires_grad:
+            out._ctx = (axis,)
+
             def backward():
                 self._accumulate(out.grad.squeeze(axis))
             out._backward = backward
@@ -571,6 +650,8 @@ class Tensor:
     def squeeze(self, axis: int) -> "Tensor":
         out = Tensor._make(np.squeeze(self.data, axis), (self,), "squeeze")
         if out.requires_grad:
+            out._ctx = (axis,)
+
             def backward():
                 self._accumulate(np.expand_dims(out.grad, axis))
             out._backward = backward
@@ -586,6 +667,7 @@ class Tensor:
         if out.requires_grad:
             sizes = [t.shape[axis] for t in tensors]
             offsets = np.cumsum([0] + sizes)
+            out._ctx = (axis,)
 
             def backward():
                 for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
@@ -601,6 +683,8 @@ class Tensor:
         tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
         out = Tensor._make(np.stack([t.data for t in tensors], axis=axis), tensors, "stack")
         if out.requires_grad:
+            out._ctx = (axis,)
+
             def backward():
                 grads = np.split(out.grad, len(tensors), axis=axis)
                 for tensor, grad in zip(tensors, grads):

@@ -31,15 +31,31 @@ LOSS_RTOL = 1e-6
 CHECKSUM_RTOL = 1e-5
 
 
+def golden_city():
+    """The fixed synthetic city of the golden recipe."""
+    return generate_city(CityConfig(name="golden", n_regions=20,
+                                    total_trips=5000, poi_total=1200), seed=42)
+
+
+def golden_config(**overrides):
+    """The fixed model/training config of the golden recipe."""
+    base = dict(d=16, d_prime=8, conv_channels=4, memory_size=6,
+                num_heads=2, intra_layers=1, inter_layers=1,
+                fusion_layers=1, epochs=10, dropout=0.1, lr=5e-4)
+    base.update(overrides)
+    return HAFusionConfig(**base)
+
+
+def _golden_run(compiled: bool):
+    city = golden_city()
+    model, history = train_hafusion(city, golden_config(), seed=7,
+                                    compiled=compiled)
+    return model, history, model.embed(city.views())
+
+
 @pytest.fixture(scope="module")
 def trained():
-    city = generate_city(CityConfig(name="golden", n_regions=20,
-                                    total_trips=5000, poi_total=1200), seed=42)
-    config = HAFusionConfig(d=16, d_prime=8, conv_channels=4, memory_size=6,
-                            num_heads=2, intra_layers=1, inter_layers=1,
-                            fusion_layers=1, epochs=10, dropout=0.1, lr=5e-4)
-    model, history = train_hafusion(city, config, seed=7)
-    return model, history, model.embed(city.views())
+    return _golden_run(compiled=False)
 
 
 def test_loss_curve_matches_golden(trained):
@@ -59,14 +75,44 @@ def test_embedding_checksums_match_golden(trained):
                                                    rel=CHECKSUM_RTOL)
 
 
+@pytest.fixture(scope="module")
+def trained_compiled():
+    """The identical run through the compiled record/replay executor."""
+    return _golden_run(compiled=True)
+
+
+def test_compiled_loss_curve_matches_golden(trained_compiled):
+    """The compiled executor replays the exact golden trajectory: same
+    rng draws (dropout masks are redrawn from the same stream), same
+    arithmetic, same losses — no separate compiled golden constants."""
+    _, history, _ = trained_compiled
+    np.testing.assert_allclose(history.losses, GOLDEN_LOSSES,
+                               rtol=LOSS_RTOL, atol=0.0)
+
+
+def test_compiled_embedding_checksums_match_golden(trained_compiled):
+    _, _, embeddings = trained_compiled
+    assert embeddings.shape == (20, 16)
+    assert np.abs(embeddings).sum() == pytest.approx(GOLDEN_ABS_SUM,
+                                                     rel=CHECKSUM_RTOL)
+    assert embeddings.mean() == pytest.approx(GOLDEN_MEAN, rel=CHECKSUM_RTOL)
+    assert embeddings[:, 0].sum() == pytest.approx(GOLDEN_COL0_SUM,
+                                                   rel=CHECKSUM_RTOL)
+
+
+def test_compiled_final_embeddings_match_eager(trained, trained_compiled):
+    """The acceptance bound: compiled-vs-eager final-embedding max abs
+    difference ≤ 1e-8 in float64 over the full golden run."""
+    _, _, eager_embeddings = trained
+    _, _, compiled_embeddings = trained_compiled
+    assert np.abs(eager_embeddings - compiled_embeddings).max() <= 1e-8
+
+
 def test_trajectory_is_deterministic(trained):
     """Guards the premise of the golden values: two identical runs agree
     bit-for-bit, so any golden mismatch is a real numerical change."""
-    city = generate_city(CityConfig(name="golden", n_regions=20,
-                                    total_trips=5000, poi_total=1200), seed=42)
-    config = HAFusionConfig(d=16, d_prime=8, conv_channels=4, memory_size=6,
-                            num_heads=2, intra_layers=1, inter_layers=1,
-                            fusion_layers=1, epochs=3, dropout=0.1, lr=5e-4)
+    city = golden_city()
+    config = golden_config(epochs=3)
     _, first = train_hafusion(city, config, seed=7)
     _, second = train_hafusion(city, config, seed=7)
     assert first.losses == second.losses
