@@ -12,7 +12,11 @@ import os
 import numpy as np
 import pytest
 
-from repro.core import HAFusionConfig, compiled_speedup_report
+from repro.core import (
+    HAFusionConfig,
+    compiled_speedup_report,
+    serving_speedup_report,
+)
 from repro.data import CityConfig, generate_city, load_city
 from repro.eval import Lasso
 from repro.nn import (
@@ -120,12 +124,58 @@ class TestCompiledStepBenchmarks:
         assert report["final_embedding_max_abs_diff"] <= 1e-8
         assert report["max_loss_diff"] <= 1e-6
         assert report["plan_forward_ops"] > 100
+        # The gradient-buffer liveness pool must reclaim >=40% of the
+        # PR 2 one-buffer-per-slot footprint on the largest benchmarked
+        # city (measured ~89% on nyc_360; this gate is deterministic —
+        # byte accounting, not wall-clock).
+        assert report["grad_buffer_reduction"] >= 0.4, (
+            f"liveness pool reclaimed only "
+            f"{report['grad_buffer_reduction']:.0%} "
+            f"({report['grad_buffer_bytes']} of "
+            f"{report['grad_buffer_bytes_unpooled']} bytes)")
         gate = float(os.environ.get("REPRO_COMPILED_SPEEDUP_GATE", "2.0"))
         assert report["speedup"] >= gate, (
             f"compiled step only {report['speedup']:.2f}x faster than "
             f"eager (eager {report['eager_seconds_per_epoch']:.3f}s, "
             f"compiled {report['compiled_seconds_per_epoch']:.3f}s "
             f"per epoch)")
+
+
+class TestServingBenchmarks:
+    def test_serving_speedup_nyc360(self, benchmark):
+        """Eager vs compiled ``batched_embed`` at paper scale (nyc_360,
+        n=360, fig7 conv_channels): one warm model answering repeated
+        embed requests.  The compiled side replays a forward-only
+        :class:`~repro.nn.compile.InferencePlan` (the record epoch is
+        excluded, exactly as a warm server runs).
+
+        Gates: ≥2x regions/sec over the eager tape
+        (``REPRO_SERVING_SPEEDUP_GATE`` relaxes it on shared runners),
+        embedding parity ≤1e-8 in float64, and the activation liveness
+        pool holding ≥40% fewer slot bytes than one-buffer-per-slot
+        (measured ≈2.9x / ≈91% on a dedicated core).  Skipped under
+        ``--benchmark-disable``: the parity and pool halves are already
+        locked down by ``tests/core/test_inference_plan.py``.
+        """
+        from bench_utils import run_once
+
+        if not benchmark.enabled:
+            pytest.skip("timing-gated benchmark; parity covered in tier-1")
+        city = load_city("nyc_360", seed=7)
+        config = HAFusionConfig.for_city("nyc_360", conv_channels=16)
+        report = run_once(benchmark, serving_speedup_report, [city],
+                          config, seed=7, repeats=5)
+        benchmark.extra_info["serving"] = report
+        print("\nserving report:", report)
+        assert report["max_abs_diff"] <= 1e-8
+        assert report["plan_fused_chains"] > 0
+        assert report["slot_reduction"] >= 0.4, (
+            f"activation pool reclaimed only {report['slot_reduction']:.0%}")
+        gate = float(os.environ.get("REPRO_SERVING_SPEEDUP_GATE", "2.0"))
+        assert report["speedup"] >= gate, (
+            f"compiled serving only {report['speedup']:.2f}x eager "
+            f"({report['compiled_regions_per_sec']:.0f} vs "
+            f"{report['eager_regions_per_sec']:.0f} regions/sec)")
 
 
 class TestEvalBenchmarks:

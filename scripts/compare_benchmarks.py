@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Compare two pytest-benchmark JSON files and emit a markdown summary.
+
+Used by the nightly CI job to diff the fresh benchmark run against the
+previous night's archived artifact and surface regressions in the job
+summary:
+
+    python scripts/compare_benchmarks.py baseline.json current.json \
+        [--threshold 0.2] [--fail-on-regression]
+
+Two kinds of series are compared:
+
+- **wall-clock means** per benchmark (``stats.mean``; higher is worse) —
+  flagged when the current mean exceeds the baseline by more than the
+  threshold;
+- **speedup gauges** recorded in ``extra_info`` (the engine, compiled
+  training-step and compiled serving reports each carry a ``speedup``
+  key; higher is better) — flagged when the current value falls below
+  the baseline by more than the threshold.
+
+The default exit code is 0 even with regressions (the nightly job
+*surfaces* them; shared-runner noise should not fail the build) —
+``--fail-on-regression`` flips that for stricter environments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_THRESHOLD = 0.2
+
+
+def load_benchmarks(path: Path) -> dict[str, dict]:
+    payload = json.loads(path.read_text())
+    out = {}
+    for bench in payload.get("benchmarks", []):
+        name = bench.get("fullname") or bench.get("name")
+        if name:
+            out[name] = bench
+    return out
+
+
+def iter_speedups(extra_info: dict, prefix: str = ""):
+    """Yield (dotted_path, value) for every numeric ``speedup`` gauge
+    nested anywhere inside ``extra_info``."""
+    for key, value in sorted(extra_info.items()):
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            yield from iter_speedups(value, prefix=f"{path}.")
+        elif key == "speedup" and isinstance(value, (int, float)):
+            yield path, float(value)
+
+
+def compare(baseline: dict[str, dict], current: dict[str, dict],
+            threshold: float) -> tuple[list[str], list[str]]:
+    """Returns (table_rows, regression_notes)."""
+    rows, regressions = [], []
+    for name in sorted(set(baseline) & set(current)):
+        old = baseline[name]
+        new = current[name]
+        old_mean = old.get("stats", {}).get("mean")
+        new_mean = new.get("stats", {}).get("mean")
+        if old_mean and new_mean:
+            ratio = new_mean / old_mean
+            flag = ""
+            if ratio > 1.0 + threshold:
+                flag = " :warning:"
+                regressions.append(
+                    f"`{name}` mean {old_mean:.4f}s -> {new_mean:.4f}s "
+                    f"({ratio - 1.0:+.0%})")
+            rows.append(f"| `{name}` | mean | {old_mean:.4f}s | "
+                        f"{new_mean:.4f}s | {ratio - 1.0:+.1%}{flag} |")
+        old_speedups = dict(iter_speedups(old.get("extra_info", {})))
+        new_speedups = dict(iter_speedups(new.get("extra_info", {})))
+        for path in sorted(set(old_speedups) & set(new_speedups)):
+            old_v, new_v = old_speedups[path], new_speedups[path]
+            if old_v <= 0:
+                continue
+            ratio = new_v / old_v
+            flag = ""
+            if ratio < 1.0 - threshold:
+                flag = " :warning:"
+                regressions.append(
+                    f"`{name}` {path} {old_v:.2f}x -> {new_v:.2f}x "
+                    f"({ratio - 1.0:+.0%})")
+            rows.append(f"| `{name}` | {path} | {old_v:.2f}x | "
+                        f"{new_v:.2f}x | {ratio - 1.0:+.1%}{flag} |")
+    return rows, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="relative change that counts as a regression "
+                             f"(default {DEFAULT_THRESHOLD:.0%})")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 when any regression is detected")
+    args = parser.parse_args(argv)
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+    rows, regressions = compare(baseline, current, args.threshold)
+
+    print("## Nightly benchmark comparison")
+    print()
+    if not rows:
+        print("No overlapping benchmarks between baseline and current run.")
+        return 0
+    if regressions:
+        print(f"**{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}:**")
+        print()
+        for note in regressions:
+            print(f"- {note}")
+    else:
+        print(f"No regressions beyond {args.threshold:.0%}.")
+    print()
+    print("| benchmark | metric | baseline | current | change |")
+    print("| --- | --- | --- | --- | --- |")
+    for row in rows:
+        print(row)
+    if regressions and args.fail_on_regression:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

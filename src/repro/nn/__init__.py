@@ -19,12 +19,26 @@ gradient checks in ``tests/nn`` at both unbatched and batched shapes
 
 from . import functional, init
 from .attention import ExternalAttention, MultiHeadSelfAttention, TransformerEncoderBlock
-from .compile import CompiledStep, Plan, compile_step
+from .compile import (
+    RECORD_STATS,
+    CompiledStep,
+    InferencePlan,
+    Plan,
+    compile_step,
+    record_forward,
+)
 from .conv import AvgPool2d, Conv2d
 from .gradcheck import check_gradients, numeric_gradient
 from .layers import MLP, Dropout, FeedForward, Identity, LayerNorm, Linear
 from .module import Module, ModuleList, Parameter, Sequential
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .plancache import (
+    PlanCache,
+    PlanSpec,
+    default_plan_cache,
+    inference_plan_key,
+    reset_default_plan_cache,
+)
 from .tensor import (
     Tensor,
     get_default_dtype,
@@ -44,8 +58,16 @@ __all__ = [
     "set_default_dtype",
     "get_default_dtype",
     "Plan",
+    "InferencePlan",
     "CompiledStep",
     "compile_step",
+    "record_forward",
+    "RECORD_STATS",
+    "PlanCache",
+    "PlanSpec",
+    "default_plan_cache",
+    "inference_plan_key",
+    "reset_default_plan_cache",
     "Parameter",
     "Module",
     "Sequential",

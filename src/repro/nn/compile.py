@@ -39,23 +39,68 @@ the stream of draws matches what the eager step would have consumed
 (dropout on a constant input is off-tape and therefore rejected at
 record time rather than silently frozen).
 
-Memory trade-off: the plan retains every activation *and* a gradient
-buffer per slot for its lifetime — roughly 2x the eager backward's peak,
-which frees intermediate gradients as it goes (~2.1 GB vs ~1.2 GB on
-nyc_360 in float64).  A liveness pass that pools gradient buffers is a
-ROADMAP follow-on.
+Memory: a buffer-liveness pass pools gradient buffers by last-consumer
+position — an interior slot's gradient buffer is recycled as soon as the
+slot's own backward kernel has consumed it, so the resident set is the
+live gradient window plus the leaf gradients rather than one buffer per
+slot (the PR 2 layout, still available via ``pool_gradients=False`` and
+reported by :meth:`Plan.buffer_report`).  The forward-only
+:class:`InferencePlan` applies the same pass to activation slots, with
+rebindable input buffers so one plan serves every same-shaped request;
+:mod:`repro.nn.plancache` serializes those plans so repeated runs skip
+the record epoch entirely.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Hashable
+from typing import Callable, Hashable, NamedTuple, Sequence
 
 import numpy as np
 
 from .module import Parameter
 from .tensor import Tensor, _is_basic_index, _unbroadcast, record_tape
 
-__all__ = ["Plan", "CompiledStep", "compile_step"]
+__all__ = ["Plan", "InferencePlan", "CompiledStep", "compile_step",
+           "record_forward", "RECORD_STATS", "RecordStats"]
+
+
+class RecordStats:
+    """Global counter of tape-record events (the expensive eager epochs).
+
+    Every plan (re-)recording — a training step captured by
+    :class:`CompiledStep` or an inference pass captured by
+    :func:`record_forward` — bumps a counter here, so tests and benchmark
+    harnesses can assert that a warm plan cache performs **zero** record
+    epochs (`RECORD_STATS.reset(); ...; assert RECORD_STATS.total == 0`).
+    """
+
+    def __init__(self):
+        self.training_records = 0
+        self.inference_records = 0
+
+    @property
+    def total(self) -> int:
+        return self.training_records + self.inference_records
+
+    def reset(self) -> None:
+        self.training_records = 0
+        self.inference_records = 0
+
+
+RECORD_STATS = RecordStats()
+
+
+def record_forward(fn: Callable[[], Tensor]) -> tuple[Tensor, list[Tensor]]:
+    """Run ``fn`` under a forward-only tape; returns (output, nodes).
+
+    The standard capture step for :class:`InferencePlan`: call under
+    ``no_grad`` with the model in ``eval()`` mode so no backward closures
+    are built and dropout is elided.
+    """
+    with record_tape(forward=True) as nodes:
+        output = fn()
+    RECORD_STATS.inference_records += 1
+    return output, nodes
 
 
 def _mark(written: set[int], key: int) -> bool:
@@ -894,8 +939,31 @@ def _bwd_avgpool2d(node, grads, written, scratch):
 # rounding, covered by the ≤1e-8 parity budget).  The pattern is
 # matched conservatively (each intermediate consumed only inside the
 # chain); anything else falls back to the generic per-op kernels.
+#
+# The masked variant — softmax(A' + additive_key_mask) from the padded
+# batches of the execution engine — fuses too: the additive mask is a
+# constant (..., 1, 1, n) leaf, the extra ``add`` is folded into the
+# per-channel softmax (its backward into the pool input is the identity),
+# and the gradient never touches the mask, so the backward kernel is the
+# unmasked one verbatim.
 
-def _find_gate_fusions(nodes: list[Tensor]) -> list[tuple[Tensor, Tensor, Tensor]]:
+class _GateFusion(NamedTuple):
+    """One fusable pool -> [+mask] -> softmax -> ⊙ chain."""
+
+    pool: Tensor
+    gate: Tensor
+    mul: Tensor
+    add: Tensor | None    # corr + mask (padded batches only); fused away
+    mask: Tensor | None   # constant additive-mask leaf, read-only
+
+    @property
+    def fused_away(self) -> tuple[Tensor, ...]:
+        """Interior nodes whose generic kernels the fusion replaces."""
+        return (self.gate, self.mul) if self.add is None else \
+            (self.gate, self.mul, self.add)
+
+
+def _find_gate_fusions(nodes: list[Tensor]) -> list[_GateFusion]:
     consumers: dict[int, list[Tensor]] = {}
     for n in nodes:
         for p in n._prev:
@@ -909,19 +977,41 @@ def _find_gate_fusions(nodes: list[Tensor]) -> list[tuple[Tensor, Tensor, Tensor
             continue
         if pool._ctx != (3, 1):   # separable 3-tap kernels below
             continue
-        if gate._prev[0] is not pool or pool.ndim < 3:
+        if pool.ndim < 3:
             continue
+        scores = gate._prev[0]
+        add = mask = None
+        if scores is not pool:
+            # Masked chain: softmax(pool + additive mask) where the mask
+            # is a constant (..., 1, 1, n) leaf broadcast over channels
+            # and query rows — the engine's additive_key_mask layout.
+            if (scores._op != "add" or len(scores._prev) != 2
+                    or scores._prev[0] is not pool):
+                continue
+            add, mask = scores, scores._prev[1]
+            if mask._prev or mask.requires_grad:
+                continue
+            if (mask.ndim != pool.ndim or mask.shape[-3:-1] != (1, 1)
+                    or mask.shape[-1] != pool.shape[-1]
+                    or mask.shape[:-3] != pool.shape[:-3]):
+                continue
+            if add.shape != pool.shape:
+                continue
+            add_cons = consumers.get(id(add), [])
+            if len(add_cons) != 1 or add_cons[0] is not gate:
+                continue
         if gate._ctx[0] not in (-1, pool.ndim - 1):
             continue
         if not (pool.shape == gate.shape == mul.shape):
             continue
+        first = add if add is not None else gate
         pool_cons = consumers.get(id(pool), [])
         gate_cons = consumers.get(id(gate), [])
-        if len(pool_cons) != 2 or {id(c) for c in pool_cons} != {id(gate), id(mul)}:
+        if len(pool_cons) != 2 or {id(c) for c in pool_cons} != {id(first), id(mul)}:
             continue
         if len(gate_cons) != 1 or gate_cons[0] is not mul:
             continue
-        fusions.append((pool, gate, mul))
+        fusions.append(_GateFusion(pool, gate, mul, add, mask))
     return fusions
 
 
@@ -940,9 +1030,13 @@ def _separable_avg3(src, dst, colbuf, scale):
     np.multiply(dst, scale, out=dst)
 
 
-def _fused_gate_forward(pool: Tensor, gate_n: Tensor, mul_n: Tensor):
+def _fused_gate_forward(fusion: _GateFusion):
+    pool, gate_n, mul_n = fusion.pool, fusion.gate, fusion.mul
     x = pool._prev[0].data
     corr, gate, gated = pool.data, gate_n.data, mul_n.data
+    # Channel slice of the (..., 1, 1, n) additive mask: (..., 1, n),
+    # broadcasting over the query rows exactly as the eager add did.
+    madd = fusion.mask.data[..., 0, :, :] if fusion.mask is not None else None
     height, width = x.shape[-2:]
     channels = x.shape[-3]
     lead = x.shape[:-3]
@@ -953,15 +1047,19 @@ def _fused_gate_forward(pool: Tensor, gate_n: Tensor, mul_n: Tensor):
             cc = corr[..., c, :, :]
             gc = gate[..., c, :, :]
             _separable_avg3(x[..., c, :, :], cc, colbuf, 1.0 / 9.0)
-            np.subtract(cc, cc.max(axis=-1, keepdims=True), out=gc)
+            if madd is None:
+                np.subtract(cc, cc.max(axis=-1, keepdims=True), out=gc)
+            else:
+                np.add(cc, madd, out=gc)
+                np.subtract(gc, gc.max(axis=-1, keepdims=True), out=gc)
             np.exp(gc, out=gc)
             np.divide(gc, gc.sum(axis=-1, keepdims=True), out=gc)
             np.multiply(cc, gc, out=gated[..., c, :, :])
     return run
 
 
-def _fused_gate_backward(pool: Tensor, gate_n: Tensor, mul_n: Tensor,
-                         grads, written):
+def _fused_gate_backward(fusion: _GateFusion, grads, written):
+    pool, gate_n, mul_n = fusion.pool, fusion.gate, fusion.mul
     g_gated = grads[id(mul_n)]
     corr, gate = pool.data, gate_n.data
     parent = pool._prev[0]
@@ -1035,6 +1133,43 @@ _BWD = {
 # Plan: the lowered program
 # ----------------------------------------------------------------------
 
+class _BufferPool:
+    """Free-list allocator shared by the liveness passes.
+
+    Buffers are recycled by exact (shape, dtype).  Both passes drive it
+    with the same discipline — acquire every buffer *born* at a step
+    before releasing the ones that *die* there — which guarantees a
+    kernel never reads and writes the same array (a buffer consumed by
+    step ``i`` only re-enters the free list after step ``i``'s births
+    were served).
+    """
+
+    def __init__(self):
+        self._free: dict[tuple, list[np.ndarray]] = {}
+        self.allocated_bytes = 0
+        self.live_bytes = 0
+        self.peak_live_bytes = 0
+
+    def acquire(self, shape, dtype) -> np.ndarray:
+        key = (tuple(shape), np.dtype(dtype))
+        bucket = self._free.get(key)
+        if bucket:
+            buf = bucket.pop()
+        else:
+            buf = np.empty(key[0], dtype=key[1])
+            self.allocated_bytes += buf.nbytes
+        self.live_bytes += buf.nbytes
+        self.peak_live_bytes = max(self.peak_live_bytes, self.live_bytes)
+        return buf
+
+    def release(self, buf: np.ndarray) -> None:
+        self._free.setdefault((buf.shape, buf.dtype), []).append(buf)
+        self.live_bytes -= buf.nbytes
+
+    def count_external(self, nbytes: int) -> None:
+        """Account for a private (never-recycled) buffer."""
+        self.allocated_bytes += nbytes
+
 class Plan:
     """A recorded step lowered to flat forward/backward kernel lists.
 
@@ -1048,7 +1183,8 @@ class Plan:
     store.
     """
 
-    def __init__(self, loss: Tensor, nodes: list[Tensor]):
+    def __init__(self, loss: Tensor, nodes: list[Tensor],
+                 pool_gradients: bool = True):
         if not loss.requires_grad or loss.size != 1:
             raise ValueError("plan requires a scalar loss with requires_grad")
         recorded = {id(n) for n in nodes}
@@ -1073,18 +1209,19 @@ class Plan:
         # per-channel blocked kernels strided) — before any builder or
         # gradient buffer captures a layout.
         fusions = _find_gate_fusions(nodes)
-        fuse_fwd_head = {id(f[0]): f for f in fusions}
-        fuse_fwd_skip = {id(t) for f in fusions for t in f[1:]}
-        fuse_bwd_head = {id(f[2]): f for f in fusions}
-        fuse_bwd_skip = {id(t) for f in fusions for t in f[:2]}
+        fuse_fwd_head = {id(f.pool): f for f in fusions}
+        fuse_fwd_skip = {id(t) for f in fusions for t in f.fused_away}
+        fuse_bwd_head = {id(f.mul): f for f in fusions}
+        fuse_bwd_skip = {id(t) for f in fusions
+                         for t in (f.pool, f.gate, f.add) if t is not None}
         for fusion in fusions:
-            targets = list(fusion)
+            targets = [fusion.pool, fusion.gate, fusion.mul]
             # The pool's input too: channel-sliced reads of a channel-last
             # array touch one cache line per element (a 16x traffic blow-
             # up); one contiguous materialization up front is far cheaper.
             # Views and leaves keep their buffers (a view's noop forward
             # and a parameter's identity both depend on them).
-            parent = fusion[0]._prev[0]
+            parent = fusion.pool._prev[0]
             if parent._prev and not _is_view(parent):
                 targets.append(parent)
             for t in targets:
@@ -1096,11 +1233,9 @@ class Plan:
         # wants contiguous `out=` targets for the direct matmul-backward
         # fast path.  Fused-away intermediates keep their gradients in
         # kernel-local scratch instead.
-        grads: dict[int, np.ndarray] = {
-            tid: np.empty(t.data.shape, dtype=t.data.dtype)
-            for tid, t in reachable.items()
-            if t.requires_grad and tid not in fuse_bwd_skip
-        }
+        grads = self._allocate_gradients(loss, nodes, reachable,
+                                         fuse_bwd_head, fuse_bwd_skip,
+                                         pool_gradients)
         grads[id(loss)][...] = 1.0   # seed; loss has no consumers
         self._grads = grads
 
@@ -1111,7 +1246,7 @@ class Plan:
                 continue
             if id(node) in fuse_fwd_head:
                 self._forward_ops.append(
-                    _fused_gate_forward(*fuse_fwd_head[id(node)]))
+                    _fused_gate_forward(fuse_fwd_head[id(node)]))
                 continue
             builder = _FWD.get(node._op)
             if builder is None:
@@ -1128,7 +1263,7 @@ class Plan:
                 continue
             if id(node) in fuse_bwd_head:
                 self._backward_ops.append(_fused_gate_backward(
-                    *fuse_bwd_head[id(node)], grads, written))
+                    fuse_bwd_head[id(node)], grads, written))
                 continue
             builder = _BWD.get(node._op)
             if builder is None:
@@ -1148,6 +1283,96 @@ class Plan:
         self.op_counts: dict[str, int] = {}
         for node in nodes:
             self.op_counts[node._op] = self.op_counts.get(node._op, 0) + 1
+
+    # ------------------------------------------------------------------
+    def _allocate_gradients(self, loss: Tensor, nodes: list[Tensor],
+                            reachable: dict[int, Tensor],
+                            fuse_bwd_head: dict, fuse_bwd_skip: set[int],
+                            pool_gradients: bool) -> dict[int, np.ndarray]:
+        """Assign a gradient buffer to every slot that needs one.
+
+        With ``pool_gradients`` (the liveness pass) an interior slot's
+        gradient is *live* only from the first backward kernel that
+        writes it (its last consumer in forward order) until the slot's
+        own backward kernel consumes it; afterwards the buffer returns to
+        a free pool keyed on (shape, dtype) and is handed to the next
+        slot whose gradient is born.  Buffers are released only *after*
+        the consuming kernel, so a kernel never reads and writes the same
+        array — the first write to a recycled buffer is always a store
+        (the same static analysis that lets buffers skip zeroing).  Leaf
+        gradients (the optimizer reads them after replay) and the
+        once-seeded loss gradient stay persistent.  Without pooling, one
+        buffer per slot for the plan's lifetime (the PR 2 layout).
+        """
+        needed = [(tid, t) for tid, t in reachable.items()
+                  if t.requires_grad and tid not in fuse_bwd_skip]
+        self._grad_bytes_unpooled = sum(
+            t.data.nbytes for _, t in needed)
+        self._pool_gradients = pool_gradients
+        if not pool_gradients:
+            grads = {tid: np.empty(t.data.shape, dtype=t.data.dtype)
+                     for tid, t in needed}
+            self._grad_bytes = self._grad_bytes_unpooled
+            self._grad_peak_bytes = self._grad_bytes_unpooled
+            return grads
+
+        # Backward kernel order (one kernel per node; fused chains one
+        # kernel at the mul node).
+        bwd_nodes = [n for n in reversed(nodes)
+                     if id(n) in reachable and id(n) not in fuse_bwd_skip]
+        own_pos = {id(n): i for i, n in enumerate(bwd_nodes)}
+        birth: dict[int, int] = {}
+        for i, n in enumerate(bwd_nodes):
+            if id(n) in fuse_bwd_head:
+                parent = fuse_bwd_head[id(n)].pool._prev[0]
+                targets = (parent,) if parent.requires_grad else ()
+            else:
+                targets = tuple(p for p in n._prev if p.requires_grad)
+            for p in targets:
+                birth.setdefault(id(p), i)
+
+        grads: dict[int, np.ndarray] = {}
+        persistent_bytes = 0
+        births_at: dict[int, list[Tensor]] = {}
+        deaths_at: dict[int, list[int]] = {}
+        for tid, t in needed:
+            # Persistent: leaves (optimizer-visible), the loss seed, and
+            # any slot the analysis cannot place (defensive).
+            if (not t._prev or tid == id(loss) or tid not in birth
+                    or tid not in own_pos):
+                grads[tid] = np.empty(t.data.shape, dtype=t.data.dtype)
+                persistent_bytes += grads[tid].nbytes
+                continue
+            births_at.setdefault(birth[tid], []).append(t)
+            deaths_at.setdefault(own_pos[tid], []).append(tid)
+
+        pool = _BufferPool()
+        for i in range(len(bwd_nodes)):
+            for t in births_at.get(i, ()):
+                grads[id(t)] = pool.acquire(t.data.shape, t.data.dtype)
+            # Release only after the kernel at i has consumed its grad.
+            for tid in deaths_at.get(i, ()):
+                pool.release(grads[tid])
+        self._grad_bytes = persistent_bytes + pool.allocated_bytes
+        self._grad_peak_bytes = persistent_bytes + pool.peak_live_bytes
+        return grads
+
+    def buffer_report(self) -> dict:
+        """Gradient-buffer byte accounting (the liveness-pool metric).
+
+        ``grad_buffer_bytes`` is what this plan actually allocated;
+        ``grad_buffer_bytes_unpooled`` is the PR 2 one-buffer-per-slot
+        footprint the pool replaces.
+        """
+        unpooled = self._grad_bytes_unpooled
+        return {
+            "pooled": self._pool_gradients,
+            "grad_buffer_bytes": self._grad_bytes,
+            "grad_buffer_peak_bytes": self._grad_peak_bytes,
+            "grad_buffer_bytes_unpooled": unpooled,
+            "grad_buffer_reduction": (
+                1.0 - self._grad_bytes / unpooled if unpooled else 0.0),
+        }
 
     # ------------------------------------------------------------------
     @property
@@ -1187,6 +1412,271 @@ class Plan:
         value = self.forward()
         self.backward()
         return value
+
+
+# ----------------------------------------------------------------------
+# InferencePlan: the forward-only serving program
+# ----------------------------------------------------------------------
+
+#: Ops whose output can alias their parent's buffer (replayed as no-ops).
+_VIEW_OPS = {"reshape", "swapaxes", "transpose", "expand_dims", "squeeze",
+             "getitem"}
+
+
+def _view_candidate(node: Tensor, shape: tuple[int, ...]) -> np.ndarray | None:
+    """Rebuild ``node`` as a view of its parent's current buffer, or None
+    when the op materializes a copy on that layout (e.g. a reshape of a
+    non-contiguous view)."""
+    op = node._op
+    if op not in _VIEW_OPS:
+        return None
+    if op == "getitem" and not _is_basic_index(node._ctx[0]):
+        return None
+    parent = node._prev[0].data
+    if op == "reshape":
+        cand = parent.reshape(shape)
+    elif op == "swapaxes":
+        cand = parent.swapaxes(*node._ctx)
+    elif op == "transpose":
+        cand = parent.transpose(node._ctx[0])
+    elif op == "expand_dims":
+        cand = np.expand_dims(parent, node._ctx[0])
+    elif op == "squeeze":
+        cand = np.squeeze(parent, node._ctx[0])
+    else:
+        cand = parent[node._ctx[0]]
+    if cand.shape != tuple(shape) or not np.may_share_memory(cand, parent):
+        return None
+    return cand
+
+
+class InferencePlan:
+    """A recorded forward pass lowered to flat in-place kernels.
+
+    Built from the output tensor of one ``no_grad`` + ``eval()`` forward
+    run captured by :func:`record_forward` (or from a deserialized
+    :class:`repro.nn.plancache.PlanSpec`).  Differences from the training
+    :class:`Plan`:
+
+    - **forward only** — no gradient buffers, no backward kernels, and
+      dropout is structurally absent (eval mode elides it; an active
+      dropout is rejected at record time);
+    - **rebindable inputs** — the declared ``inputs`` are slot buffers
+      that :meth:`run` refills per request, so one plan serves every
+      same-shaped batch;
+    - **activation liveness pool** — with ``pool_buffers`` (default) an
+      intermediate's buffer is recycled once its last consumer kernel has
+      run, so resident memory is the live working set rather than one
+      buffer per slot.  View chains share their root's buffer and extend
+      its lifetime; fused gate-chain members are born at the chain head
+      (the single fused kernel writes all of them there).  Buffers are
+      released only after the consuming kernel, so no kernel ever reads
+      and writes the same array.
+    """
+
+    def __init__(self, output: Tensor, nodes: list[Tensor],
+                 inputs: Sequence[Tensor], params: Sequence[Tensor] | None = None,
+                 pool_buffers: bool = True):
+        if not output._prev:
+            raise ValueError("inference plan output must be a computed node")
+        recorded = {id(n) for n in nodes}
+        reachable: dict[int, Tensor] = {}
+        stack = [output]
+        while stack:
+            t = stack.pop()
+            if id(t) in reachable:
+                continue
+            reachable[id(t)] = t
+            if t._prev and id(t) not in recorded:
+                raise RuntimeError(
+                    "output depends on graph nodes created outside the "
+                    "recorded forward pass; build the whole forward inside "
+                    "the recording")
+            stack.extend(t._prev)
+        for t in inputs:
+            if t._prev:
+                raise ValueError("plan inputs must be leaf tensors")
+        order = [n for n in nodes if id(n) in reachable]
+        self._order = order
+
+        # Fusion decisions first (they fix birth positions); consumers
+        # are computed over live nodes only — dead branches never replay.
+        fusions = _find_gate_fusions(order)
+        fuse_fwd_head = {id(f.pool): f for f in fusions}
+        fuse_fwd_skip = {id(t) for f in fusions for t in f.fused_away}
+        skip_alloc = {id(f.add) for f in fusions if f.add is not None}
+        birth_override: dict[int, int] = {}
+        pos = {id(n): i for i, n in enumerate(order)}
+        for f in fusions:
+            head = pos[id(f.pool)]
+            birth_override[id(f.gate)] = head
+            birth_override[id(f.mul)] = head
+
+        shapes = {id(n): n.data.shape for n in order}
+        dtypes = {id(n): n.data.dtype for n in order}
+        self._pooled = pool_buffers
+        if pool_buffers:
+            self._assign_buffers(order, output, shapes, dtypes,
+                                 skip_alloc, birth_override)
+        else:
+            # Adopt the traced buffers as-is (the PR 2 layout): one array
+            # per non-view slot for the plan's lifetime.
+            self._slot_bytes_unpooled = sum(
+                n.data.nbytes
+                for n in order
+                if id(n) not in skip_alloc and not _is_view(n))
+            self._slot_bytes = self._slot_bytes_unpooled
+            self._slot_peak_bytes = self._slot_bytes_unpooled
+
+        scratch: dict[int, object] = {}
+        self._forward_ops: list[Callable[[], None]] = []
+        for node in order:
+            if id(node) in fuse_fwd_skip:
+                continue
+            if id(node) in fuse_fwd_head:
+                self._forward_ops.append(
+                    _fused_gate_forward(fuse_fwd_head[id(node)]))
+                continue
+            builder = _FWD.get(node._op)
+            if builder is None:
+                raise NotImplementedError(
+                    f"op {node._op!r} has no compiled forward kernel")
+            fn = builder(node, scratch)
+            if fn is not None:
+                self._forward_ops.append(fn)
+
+        self.num_fused_chains = len(fusions)
+        self.op_counts: dict[str, int] = {}
+        for node in order:
+            self.op_counts[node._op] = self.op_counts.get(node._op, 0) + 1
+        self._inputs = list(inputs)
+        self._input_arrays = [t.data for t in inputs]
+        self._output = output.data
+        self._param_buffers = ([(p, p.data) for p in params]
+                               if params is not None else [])
+
+    # ------------------------------------------------------------------
+    def _assign_buffers(self, order, output, shapes, dtypes,
+                        skip_alloc, birth_override) -> None:
+        """The activation liveness pass: classify views, compute per-root
+        last-use positions, then rebind every interior node to a pooled
+        C-contiguous buffer (or a view of one)."""
+        # Pass A: provisional view/root classification on the incoming
+        # buffers.  Pooled roots are contiguous, so a pass-A view can
+        # only become *more* viewable in pass C; drift the other way is
+        # handled there by materializing a private buffer.
+        root: dict[int, int] = {}
+        is_view: set[int] = set()
+        own_nodes: list[Tensor] = []
+        unpooled = 0
+        for n in order:
+            if id(n) in skip_alloc:
+                continue
+            cand = _view_candidate(n, shapes[id(n)])
+            if cand is not None:
+                is_view.add(id(n))
+                root[id(n)] = root.get(id(n._prev[0]), id(n._prev[0]))
+            else:
+                own_nodes.append(n)
+                root[id(n)] = id(n)
+                unpooled += n.data.nbytes
+        self._slot_bytes_unpooled = unpooled
+
+        # Pass B: last consumer position per storage root (a node's read
+        # touches its root's buffer; leaves are their own roots and are
+        # never pooled).
+        last_use: dict[int, int] = {}
+        for i, n in enumerate(order):
+            for p in n._prev:
+                last_use[root.get(id(p), id(p))] = i
+        persistent = {root.get(id(output), id(output))}
+
+        births_at: dict[int, list[Tensor]] = {}
+        deaths_at: dict[int, list[Tensor]] = {}
+        positions = {id(n): i for i, n in enumerate(order)}
+        for n in own_nodes:
+            b = birth_override.get(id(n), positions[id(n)])
+            births_at.setdefault(b, []).append(n)
+            if id(n) in persistent:
+                continue
+            d = last_use.get(id(n))
+            if d is None:
+                continue   # never read again (defensive): keep persistent
+            deaths_at.setdefault(d, []).append(n)
+
+        # Pass C: linear-scan allocation + final buffer binding.  Views
+        # are rebuilt on their parents' final buffers in program order.
+        pool = _BufferPool()
+        for i, n in enumerate(order):
+            for t in births_at.get(i, ()):
+                t.data = pool.acquire(shapes[id(t)], dtypes[id(t)])
+            if id(n) in skip_alloc:
+                # Fused away entirely (the masked chain's add): the fused
+                # kernel never touches its buffer.
+                n.data = None
+            elif id(n) in is_view:
+                cand = _view_candidate(n, shapes[id(n)])
+                if cand is None:
+                    # Layout drift (pass-A view, pass-C copy): keep the
+                    # materialized array as a private persistent buffer.
+                    n.data = np.empty(shapes[id(n)], dtype=dtypes[id(n)])
+                    pool.count_external(n.data.nbytes)
+                else:
+                    n.data = cand
+            for t in deaths_at.get(i, ()):
+                pool.release(t.data)
+        self._slot_bytes = pool.allocated_bytes
+        self._slot_peak_bytes = pool.peak_live_bytes
+
+    # ------------------------------------------------------------------
+    @property
+    def num_forward_ops(self) -> int:
+        return len(self._forward_ops)
+
+    @property
+    def inputs(self) -> list[Tensor]:
+        return self._inputs
+
+    def matches(self, params: Sequence[Tensor]) -> bool:
+        """Whether this plan is bound to exactly these parameter objects
+        and their arrays have not been swapped out."""
+        if len(params) != len(self._param_buffers):
+            return False
+        return all(p is q and q.data is buf
+                   for (q, buf), p in zip(self._param_buffers, params))
+
+    def buffer_report(self) -> dict:
+        """Activation-slot byte accounting (the serving-residency metric)."""
+        unpooled = self._slot_bytes_unpooled
+        return {
+            "pooled": self._pooled,
+            "slot_bytes": self._slot_bytes,
+            "slot_peak_bytes": self._slot_peak_bytes,
+            "slot_bytes_unpooled": unpooled,
+            "slot_reduction": (1.0 - self._slot_bytes / unpooled
+                               if unpooled else 0.0),
+        }
+
+    def run(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
+        """Replay the forward pass on fresh inputs.
+
+        Copies each request array into its slot (casting to the slot
+        dtype, exactly as the eager path's ``Tensor(m)`` would) and runs
+        the kernel list.  Returns the output buffer — a view owned by the
+        plan; copy it before the next ``run`` if it must survive.
+        """
+        if len(arrays) != len(self._input_arrays):
+            raise ValueError(f"plan expects {len(self._input_arrays)} "
+                             f"inputs, got {len(arrays)}")
+        for slot, arr in zip(self._input_arrays, arrays):
+            src = np.asarray(arr)
+            if src.shape != slot.shape:
+                raise ValueError(f"input shape {src.shape} does not match "
+                                 f"plan slot {slot.shape}")
+            np.copyto(slot, src)
+        for fn in self._forward_ops:
+            fn()
+        return self._output
 
 
 # ----------------------------------------------------------------------
@@ -1241,6 +1731,7 @@ class CompiledStep:
     def _record(self, signature: Hashable | None) -> float:
         with record_tape() as nodes:
             loss = self._loss_fn()
+        RECORD_STATS.training_records += 1
         self._plan = Plan(loss, nodes)
         self._signature = signature
         self.compile_count += 1

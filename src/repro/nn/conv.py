@@ -111,10 +111,11 @@ class Conv2d(Module):
 
         parents = [x, self.weight] + ([self.bias] if self.bias is not None else [])
         out = Tensor._make(out_data, parents, "conv2d")
-        if out.requires_grad:
+        if out._op:
             # ``cols`` rides along so a compiled plan can adopt the im2col
             # buffer instead of reading one it never filled.
             out._ctx = (kernel, pad, batched, cols)
+        if out.requires_grad:
             weight, bias = self.weight, self.bias
 
             def backward():
@@ -164,9 +165,9 @@ class AvgPool2d(Module):
         out_data *= scale
 
         out = Tensor._make(out_data, [x], "avgpool2d")
-        if out.requires_grad:
+        if out._op:
             out._ctx = (kernel, pad)
-
+        if out.requires_grad:
             def backward():
                 grad_padded = np.zeros(x.shape[:-2] + (height + 2 * pad, width + 2 * pad),
                                        dtype=out.grad.dtype)

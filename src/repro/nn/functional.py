@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor, is_recording
+from .tensor import Tensor, is_forward_recording, is_recording
 
 __all__ = [
     "softmax",
@@ -99,6 +99,14 @@ def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator | None
         return x
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if is_forward_recording():
+        # A forward-only plan has no rng-stream contract to honour —
+        # inference must be deterministic. Recording active dropout means
+        # the model was left in train mode; refuse rather than bake one
+        # arbitrary mask into every replay.
+        raise RuntimeError(
+            "active dropout cannot be captured on a forward-only tape; "
+            "record inference plans with the model in eval() mode")
     rng = rng if rng is not None else np.random.default_rng()
     mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
     out = Tensor._make(x.data * mask, (x,), "dropout")

@@ -37,6 +37,7 @@ __all__ = [
     "use_dtype",
     "record_tape",
     "is_recording",
+    "is_forward_recording",
 ]
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
@@ -48,22 +49,38 @@ _DEFAULT_DTYPE = np.float64
 #: :mod:`repro.nn.compile` replay stateful ops (dropout) with the same
 #: rng draw sequence the eager step used.
 _TAPE_RECORDER: list | None = None
+#: Whether the active recorder is a *forward* tape: every op is captured
+#: (constants included, since inference inputs are rebound between
+#: replays) even with gradients disabled — the capture mode of
+#: :class:`repro.nn.compile.InferencePlan`.
+_TAPE_FORWARD = False
 
 
 @contextlib.contextmanager
-def record_tape():
+def record_tape(forward: bool = False):
     """Collect every graph node created in this context, in creation
     order. Used by :mod:`repro.nn.compile` to capture one eager step as a
-    replayable plan. Nested recording is not supported."""
-    global _TAPE_RECORDER
+    replayable plan. Nested recording is not supported.
+
+    Parameters
+    ----------
+    forward:
+        Record a forward-only tape: every op is captured regardless of
+        gradient mode (use under :func:`no_grad` to capture an inference
+        pass without building backward closures). The default records
+        only gradient-tracked nodes, as a training step needs.
+    """
+    global _TAPE_RECORDER, _TAPE_FORWARD
     if _TAPE_RECORDER is not None:
         raise RuntimeError("tape recording is already active")
     nodes: list[Tensor] = []
     _TAPE_RECORDER = nodes
+    _TAPE_FORWARD = bool(forward)
     try:
         yield nodes
     finally:
         _TAPE_RECORDER = None
+        _TAPE_FORWARD = False
 
 
 @contextlib.contextmanager
@@ -90,6 +107,11 @@ def is_grad_enabled() -> bool:
 def is_recording() -> bool:
     """Whether a :func:`record_tape` context is active."""
     return _TAPE_RECORDER is not None
+
+
+def is_forward_recording() -> bool:
+    """Whether a forward-only :func:`record_tape` context is active."""
+    return _TAPE_FORWARD
 
 
 def set_default_dtype(dtype) -> None:
@@ -246,6 +268,13 @@ class Tensor:
             out._op = op
             if _TAPE_RECORDER is not None:
                 _TAPE_RECORDER.append(out)
+        elif _TAPE_FORWARD:
+            # Forward tape: capture every op, including ones on plain
+            # constants — an inference plan rebinds its inputs between
+            # replays, so nothing downstream of them may be folded away.
+            out._prev = tuple(parents)
+            out._op = op
+            _TAPE_RECORDER.append(out)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -372,9 +401,9 @@ class Tensor:
         if isinstance(exponent, Tensor):
             raise TypeError("tensor exponents are not supported; use exp(log(x) * y)")
         out = Tensor._make(self.data ** exponent, (self,), "pow")
-        if out.requires_grad:
+        if out._op:
             out._ctx = (exponent,)
-
+        if out.requires_grad:
             def backward():
                 self._accumulate(_unbroadcast(out.grad * exponent * self.data ** (exponent - 1.0), self.shape))
             out._backward = backward
@@ -473,9 +502,9 @@ class Tensor:
         scale = np.where(self.data > 0.0, 1.0, negative_slope).astype(
             self.data.dtype, copy=False)
         out = Tensor._make(self.data * scale, (self,), "leaky_relu")
-        if out.requires_grad:
+        if out._op:
             out._ctx = (negative_slope,)
-
+        if out.requires_grad:
             def backward():
                 self._accumulate(out.grad * scale)
             out._backward = backward
@@ -500,9 +529,9 @@ class Tensor:
         np.exp(shifted, out=shifted)
         shifted /= shifted.sum(axis=axis, keepdims=True)
         out = Tensor._make(shifted, (self,), "softmax")
-        if out.requires_grad:
+        if out._op:
             out._ctx = (axis,)
-
+        if out.requires_grad:
             def backward():
                 g = out.grad
                 dot = (g * out.data).sum(axis=axis, keepdims=True)
@@ -518,9 +547,9 @@ class Tensor:
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
         out = Tensor._make(shifted - log_norm, (self,), "log_softmax")
-        if out.requires_grad:
+        if out._op:
             out._ctx = (axis,)
-
+        if out.requires_grad:
             def backward():
                 g = out.grad
                 total = g.sum(axis=axis, keepdims=True)
@@ -533,9 +562,9 @@ class Tensor:
     # ------------------------------------------------------------------
     def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
         out = Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), "sum")
-        if out.requires_grad:
+        if out._op:
             out._ctx = (axis, keepdims)
-
+        if out.requires_grad:
             def backward():
                 grad = out.grad
                 if axis is not None and not keepdims:
@@ -564,9 +593,9 @@ class Tensor:
     def max(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.max(axis=axis, keepdims=keepdims)
         out = Tensor._make(out_data, (self,), "max")
-        if out.requires_grad:
+        if out._op:
             out._ctx = (axis, keepdims)
-
+        if out.requires_grad:
             def backward():
                 # The argmax mask is built lazily, here rather than at
                 # forward time, so ``no_grad`` inference and forward-only
@@ -596,9 +625,9 @@ class Tensor:
 
     def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
         out = Tensor._make(self.data.swapaxes(axis1, axis2), (self,), "swapaxes")
-        if out.requires_grad:
+        if out._op:
             out._ctx = (axis1, axis2)
-
+        if out.requires_grad:
             def backward():
                 self._accumulate(out.grad.swapaxes(axis1, axis2))
             out._backward = backward
@@ -610,9 +639,10 @@ class Tensor:
         elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
         out = Tensor._make(self.data.transpose(axes), (self,), "transpose")
+        if out._op:
+            out._ctx = (axes,)
         if out.requires_grad:
             inverse = np.argsort(axes)
-            out._ctx = (axes,)
 
             def backward():
                 self._accumulate(out.grad.transpose(inverse))
@@ -621,9 +651,9 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         out = Tensor._make(self.data[index], (self,), "getitem")
-        if out.requires_grad:
+        if out._op:
             out._ctx = (index,)
-
+        if out.requires_grad:
             def backward():
                 grad = np.zeros_like(self.data)
                 if _is_basic_index(index):
@@ -639,9 +669,9 @@ class Tensor:
 
     def expand_dims(self, axis: int) -> "Tensor":
         out = Tensor._make(np.expand_dims(self.data, axis), (self,), "expand_dims")
-        if out.requires_grad:
+        if out._op:
             out._ctx = (axis,)
-
+        if out.requires_grad:
             def backward():
                 self._accumulate(out.grad.squeeze(axis))
             out._backward = backward
@@ -649,9 +679,9 @@ class Tensor:
 
     def squeeze(self, axis: int) -> "Tensor":
         out = Tensor._make(np.squeeze(self.data, axis), (self,), "squeeze")
-        if out.requires_grad:
+        if out._op:
             out._ctx = (axis,)
-
+        if out.requires_grad:
             def backward():
                 self._accumulate(np.expand_dims(out.grad, axis))
             out._backward = backward
@@ -664,10 +694,11 @@ class Tensor:
     def concat(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
         out = Tensor._make(np.concatenate([t.data for t in tensors], axis=axis), tensors, "concat")
+        if out._op:
+            out._ctx = (axis,)
         if out.requires_grad:
             sizes = [t.shape[axis] for t in tensors]
             offsets = np.cumsum([0] + sizes)
-            out._ctx = (axis,)
 
             def backward():
                 for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
@@ -682,9 +713,9 @@ class Tensor:
     def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
         out = Tensor._make(np.stack([t.data for t in tensors], axis=axis), tensors, "stack")
-        if out.requires_grad:
+        if out._op:
             out._ctx = (axis,)
-
+        if out.requires_grad:
             def backward():
                 grads = np.split(out.grad, len(tensors), axis=axis)
                 for tensor, grad in zip(tensors, grads):

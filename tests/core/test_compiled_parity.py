@@ -144,10 +144,60 @@ class TestBatchedTrainerCompiled:
                                   compiled=True)
         h_e = eager.train(epochs=5)
         h_c = compiled.train(epochs=5)
+        # The *masked* RegionSA gate chain (softmax(A' + mask)) fuses
+        # too, so padded batches no longer replay un-fused.
+        plan = compiled._compiled_step.plan
+        assert plan.num_fused_chains == tiny_config.intra_layers * 3
         np.testing.assert_allclose(h_c.losses, h_e.losses, rtol=0.0,
                                    atol=ATOL64 * abs(h_e.losses[0]))
         for b, s in zip(compiled.embed(), eager.embed()):
             np.testing.assert_allclose(b, s, rtol=0.0, atol=ATOL64)
+
+    def test_gradient_pool_shrinks_buffers(self, ragged_cities, tiny_config):
+        """The liveness pool allocates far less than one gradient buffer
+        per slot, and disabling it reproduces the PR 2 layout."""
+        from repro.nn.compile import Plan
+        from repro.nn.tensor import record_tape
+
+        trainer = BatchedTrainer(ragged_cities, tiny_config, seed=0)
+        with record_tape() as nodes:
+            loss = trainer.loss()
+        pooled = Plan(loss, nodes)
+        report = pooled.buffer_report()
+        assert report["pooled"]
+        assert report["grad_buffer_bytes"] < report["grad_buffer_bytes_unpooled"]
+        assert report["grad_buffer_reduction"] >= 0.4
+
+        trainer2 = BatchedTrainer(ragged_cities, tiny_config, seed=0)
+        with record_tape() as nodes2:
+            loss2 = trainer2.loss()
+        flat = Plan(loss2, nodes2, pool_gradients=False)
+        flat_report = flat.buffer_report()
+        assert not flat_report["pooled"]
+        assert (flat_report["grad_buffer_bytes"]
+                == flat_report["grad_buffer_bytes_unpooled"]
+                == report["grad_buffer_bytes_unpooled"])
+
+    def test_gradient_pool_replay_parity(self, ragged_cities, tiny_config):
+        """Pooled and unpooled plans replay identical gradients (buffer
+        recycling must be arithmetic-neutral)."""
+        from repro.nn.compile import Plan
+        from repro.nn.tensor import record_tape
+
+        plans = []
+        for pool_gradients in (True, False):
+            trainer = BatchedTrainer(ragged_cities, tiny_config, seed=0)
+            with record_tape() as nodes:
+                loss = trainer.loss()
+            plan = Plan(loss, nodes, pool_gradients=pool_gradients)
+            for _ in range(2):
+                plan.replay()
+            grads = {id(t): g.copy() for t, g in plan.leaves}
+            plans.append((plan, grads))
+        (p_pool, g_pool), (p_flat, g_flat) = plans
+        assert len(p_pool.leaves) == len(p_flat.leaves)
+        for (t_a, _), (t_b, _) in zip(p_pool.leaves, p_flat.leaves):
+            np.testing.assert_array_equal(g_pool[id(t_a)], g_flat[id(t_b)])
 
     def test_unpadded_batch_uses_fusion(self, tiny_config):
         """Same-size cities skip masking, so the RegionSA gate chain is

@@ -259,6 +259,29 @@ def test_compiled_conv_pool_gate_chain(rng):
     _check_compiled_gradients(loss_fn, [x] + conv.parameters())
 
 
+def test_compiled_masked_gate_chain(rng):
+    """The masked gate variant — pool -> +additive_key_mask -> softmax
+    -> ⊙ — must also compile to the fused kernels (the padded-batch path
+    of the execution engine); gradcheck pins the shared backward."""
+    conv = Conv2d(1, 3, kernel_size=3, rng=rng)
+    pool = _AvgPool2d(kernel_size=3)
+    x = Tensor(rng.standard_normal((2, 1, 5, 5)), requires_grad=True)
+    keep = np.ones((2, 5))
+    keep[0, 3:] = 0.0
+    keep[1, 4:] = 0.0
+    additive = F.additive_key_mask(keep)     # (2, 1, 1, 5)
+
+    def loss_fn():
+        corr = pool(conv(x))
+        gate = F.softmax(corr + Tensor(additive), axis=-1)
+        return (corr * gate).mean(axis=-3).sum()
+
+    step = CompiledStep(loss_fn)
+    step.run()
+    assert step.plan.num_fused_chains == 1
+    _check_compiled_gradients(loss_fn, [x] + conv.parameters())
+
+
 def test_compiled_external_attention(rng):
     ext = ExternalAttention(4, memory_size=3, rng=rng)
     x = Tensor(rng.standard_normal((3, 2, 4)), requires_grad=True)
