@@ -13,10 +13,12 @@ Two kinds of series are compared:
 - **wall-clock means** per benchmark (``stats.mean``; higher is worse) —
   flagged when the current mean exceeds the baseline by more than the
   threshold;
-- **speedup gauges** recorded in ``extra_info`` (the engine, compiled
-  training-step and compiled serving reports each carry a ``speedup``
-  key; higher is better) — flagged when the current value falls below
-  the baseline by more than the threshold.
+- **throughput gauges** recorded in ``extra_info`` (higher is better)
+  — every nested ``speedup`` key (the engine, compiled training-step,
+  compiled serving and scheduler reports) and every nested
+  ``*regions_per_sec`` key (the serving scheduler's per-bucket and
+  per-traffic-shape throughput) — flagged when the current value falls
+  below the baseline by more than the threshold.
 
 The default exit code is 0 even with regressions (the nightly job
 *surfaces* them; shared-runner noise should not fail the build) —
@@ -32,6 +34,12 @@ from pathlib import Path
 
 DEFAULT_THRESHOLD = 0.2
 
+#: extra_info keys treated as higher-is-better gauges. ``speedup`` are
+#: the engine/compiled/serving ratios; ``regions_per_sec`` covers the
+#: serving scheduler's per-bucket and per-traffic-shape throughput
+#: (matched by suffix: ``scheduler_regions_per_sec`` etc. count too).
+GAUGE_SUFFIXES = ("speedup", "regions_per_sec")
+
 
 def load_benchmarks(path: Path) -> dict[str, dict]:
     payload = json.loads(path.read_text())
@@ -43,14 +51,16 @@ def load_benchmarks(path: Path) -> dict[str, dict]:
     return out
 
 
-def iter_speedups(extra_info: dict, prefix: str = ""):
-    """Yield (dotted_path, value) for every numeric ``speedup`` gauge
-    nested anywhere inside ``extra_info``."""
+def iter_gauges(extra_info: dict, prefix: str = ""):
+    """Yield (dotted_path, value) for every numeric higher-is-better
+    gauge nested anywhere inside ``extra_info`` (see GAUGE_SUFFIXES)."""
     for key, value in sorted(extra_info.items()):
         path = f"{prefix}{key}"
         if isinstance(value, dict):
-            yield from iter_speedups(value, prefix=f"{path}.")
-        elif key == "speedup" and isinstance(value, (int, float)):
+            yield from iter_gauges(value, prefix=f"{path}.")
+        elif (isinstance(value, (int, float)) and not isinstance(value, bool)
+                and any(key == s or key.endswith(f"_{s}")
+                        for s in GAUGE_SUFFIXES)):
             yield path, float(value)
 
 
@@ -73,10 +83,10 @@ def compare(baseline: dict[str, dict], current: dict[str, dict],
                     f"({ratio - 1.0:+.0%})")
             rows.append(f"| `{name}` | mean | {old_mean:.4f}s | "
                         f"{new_mean:.4f}s | {ratio - 1.0:+.1%}{flag} |")
-        old_speedups = dict(iter_speedups(old.get("extra_info", {})))
-        new_speedups = dict(iter_speedups(new.get("extra_info", {})))
-        for path in sorted(set(old_speedups) & set(new_speedups)):
-            old_v, new_v = old_speedups[path], new_speedups[path]
+        old_gauges = dict(iter_gauges(old.get("extra_info", {})))
+        new_gauges = dict(iter_gauges(new.get("extra_info", {})))
+        for path in sorted(set(old_gauges) & set(new_gauges)):
+            old_v, new_v = old_gauges[path], new_gauges[path]
             if old_v <= 0:
                 continue
             ratio = new_v / old_v

@@ -13,6 +13,10 @@ Public API overview
 - :mod:`repro.eval` — Lasso regression, k-fold CV, MAE/RMSE/R² metrics and
   the downstream-task runner.
 - :mod:`repro.experiments` — one runner per paper table/figure.
+- :mod:`repro.serving` — the production serving API: typed embed
+  requests/responses, an :class:`~repro.serving.EmbeddingService` with a
+  shape-bucket scheduler over resident compiled plans, and deploy-time
+  warm-up packs.
 
 Quickstart
 ----------

@@ -12,8 +12,11 @@ Python-level loop. This module packages that capability:
   city batch through one ``(b, n, d)`` forward pass vs. a per-city loop
   over the identical model — the two produce embeddings equal to within
   numerical round-off (locked to ≤1e-8 in ``tests/core/test_batched_parity.py``).
-  With ``compiled=True`` they serve through a forward-only
-  :class:`~repro.nn.compile.InferencePlan` fetched from a
+  Both are **deprecated shims** over
+  :class:`repro.serving.EmbeddingService` — the unified serving facade
+  that adds request scheduling, warm-up packs and provenance on the
+  same code path.  With ``compiled=True`` they serve through a
+  forward-only :class:`~repro.nn.compile.InferencePlan` fetched from a
   :class:`~repro.nn.plancache.PlanCache` — record once (or relower a
   cached spec), then replay flat numpy kernels over pooled buffers for
   every same-shaped request (:func:`serving_speedup_report` measures
@@ -44,9 +47,8 @@ import numpy as np
 
 from ..data.city import SyntheticCity
 from ..data.features import ViewSet
-from ..nn import Adam, CompiledStep, Tensor, get_default_dtype, no_grad
-from ..nn.compile import record_forward
-from ..nn.plancache import PlanCache, default_plan_cache, inference_plan_key
+from ..nn import Adam, CompiledStep, Tensor
+from ..nn.plancache import PlanCache, default_plan_cache
 from .config import HAFusionConfig
 from .losses import (
     batched_feature_similarity_loss,
@@ -150,8 +152,15 @@ class CityBatch:
         )
 
 
-def make_batch(cities: Sequence[CityLike]) -> CityBatch:
-    """Stack cities into one padded batch (ragged n and view widths ok)."""
+def make_batch(cities: Sequence[CityLike], n_max: int | None = None,
+               view_dims: Sequence[int] | None = None) -> CityBatch:
+    """Stack cities into one padded batch (ragged n and view widths ok).
+
+    ``n_max`` / ``view_dims`` force the padded layout instead of using
+    the batch's own maxima — the serving scheduler pads every flush to
+    its *model's* capacity so the resulting shapes (and therefore the
+    compiled-plan cache keys) stay stable across flushes.
+    """
     view_sets = [_as_viewset(city) for city in cities]
     if not view_sets:
         raise ValueError("need at least one city")
@@ -160,13 +169,22 @@ def make_batch(cities: Sequence[CityLike]) -> CityBatch:
         if vs.names != names:
             raise ValueError(f"cities disagree on views: {vs.names} vs {names}")
     batch = len(view_sets)
-    n_max = max(vs.n_regions for vs in view_sets)
+    widest = max(vs.n_regions for vs in view_sets)
+    if n_max is None:
+        n_max = widest
+    elif n_max < widest:
+        raise ValueError(f"n_max={n_max} below the widest city ({widest})")
     mask = np.zeros((batch, n_max))
     for i, vs in enumerate(view_sets):
         mask[i, :vs.n_regions] = 1.0
     matrices: list[np.ndarray] = []
     for j in range(len(names)):
         d_max = max(vs.matrices[j].shape[1] for vs in view_sets)
+        if view_dims is not None:
+            if view_dims[j] < d_max:
+                raise ValueError(f"view_dims[{j}]={view_dims[j]} below the "
+                                 f"widest view ({d_max})")
+            d_max = view_dims[j]
         stacked = np.zeros((batch, n_max, d_max))
         for i, vs in enumerate(view_sets):
             m = vs.matrices[j]
@@ -216,89 +234,52 @@ class BatchedEmbedResult:
     n_max: int
 
 
-def _crop(h: np.ndarray, batch: CityBatch) -> list[np.ndarray]:
-    return [h[i, :n].copy() for i, n in enumerate(batch.n_regions)]
+@dataclass(frozen=True)
+class _EmbedOptions:
+    """The one shared option set of :func:`batched_embed` and
+    :func:`sequential_embed` — both shims build it positionally from an
+    identical signature, so the two can never drift apart again (locked
+    by ``tests/serving/test_service.py::test_shim_signatures_identical``).
+    """
+
+    config: HAFusionConfig | None = None
+    seed: int = 0
+    model: HAFusion | None = None
+    compiled: bool = False
+    plan_cache: PlanCache | None = None
+
+    def service(self, batch: CityBatch):
+        """The :class:`~repro.serving.EmbeddingService` serving these
+        options (building the shared model when none was given)."""
+        from ..serving import EmbeddingService
+        model = (self.model if self.model is not None
+                 else build_batched_model(batch, self.config, self.seed))
+        cache = (self.plan_cache if self.plan_cache is not None
+                 else default_plan_cache())
+        return EmbeddingService(model, n_max=batch.n_max,
+                                view_dims=batch.view_dims,
+                                compiled=self.compiled, plan_cache=cache)
 
 
-def _embed_batched(model: HAFusion, batch: CityBatch) -> list[np.ndarray]:
-    model.eval()
-    with no_grad():
-        h = model.forward([Tensor(m) for m in batch.matrices],
-                          mask=batch.forward_mask())
-    model.train()
-    return _crop(h.data, batch)
+def _embed_via_service(cities: "Sequence[CityLike] | CityBatch",
+                       options: _EmbedOptions,
+                       sequential: bool) -> BatchedEmbedResult:
+    batch = _as_batch(cities)
+    service = options.service(batch)
+    start = time.perf_counter()
+    embeddings = (service.embed_each(batch) if sequential
+                  else service.embed_batch(batch))
+    return BatchedEmbedResult(embeddings, time.perf_counter() - start,
+                              batch.batch_size, batch.n_max)
 
-
-def _embed_sequential(model: HAFusion, batch: CityBatch) -> list[np.ndarray]:
-    mask = batch.forward_mask()
-    model.eval()
-    outputs = []
-    with no_grad():
-        for i in range(batch.batch_size):
-            inputs = [Tensor(m[i:i + 1]) for m in batch.matrices]
-            item_mask = None if mask is None else mask[i:i + 1]
-            h = model.forward(inputs, mask=item_mask)
-            outputs.append(h.data[0, :batch.n_regions[i]].copy())
-    model.train()
-    return outputs
-
-
-# ----------------------------------------------------------------------
-# Compiled serving: replay flat kernels instead of the eager tape
-# ----------------------------------------------------------------------
 
 def _serving_plan(model: HAFusion, matrices: list[np.ndarray],
                   mask: np.ndarray | None, cache: PlanCache, tag: str):
-    """Fetch (or record) the forward-only plan for one request shape.
-
-    The cache key carries everything that changes the lowered program:
-    config digest, input shapes, compute dtype and the mask contents
-    (masks are baked into the plan as constants — see
-    :func:`repro.nn.plancache.inference_plan_key`).  Parameter *values*
-    are rebound, so one spec serves every model of this architecture.
-    """
-    params = model.parameters()
-    key = inference_plan_key(
-        model.config, [m.shape for m in matrices], get_default_dtype(), mask,
-        extra=(tag, str(params[0].dtype) if params else "none"))
-
-    def record():
-        was_training = model.training
-        model.eval()
-        # Private slot copies: run() refills these per request, so they
-        # must never alias the caller's arrays.
-        slots = [Tensor(np.array(m, dtype=get_default_dtype()))
-                 for m in matrices]
-        with no_grad():
-            output, nodes = record_forward(
-                lambda: model.forward(slots, mask=mask))
-        model.train(was_training)
-        return output, nodes, slots
-
-    return cache.get(key, params, record)
-
-
-def _embed_batched_compiled(model: HAFusion, batch: CityBatch,
-                            cache: PlanCache) -> list[np.ndarray]:
-    plan = _serving_plan(model, batch.matrices, batch.forward_mask(),
-                         cache, "batched_embed")
-    return _crop(plan.run(batch.matrices), batch)
-
-
-def _embed_sequential_compiled(model: HAFusion, batch: CityBatch,
-                               cache: PlanCache) -> list[np.ndarray]:
-    mask = batch.forward_mask()
-    outputs = []
-    for i in range(batch.batch_size):
-        item_mats = [m[i:i + 1] for m in batch.matrices]
-        item_mask = None if mask is None else mask[i:i + 1]
-        # Unpadded batches share one plan across all cities (mask=None);
-        # ragged ones get one plan per distinct mask pattern.
-        plan = _serving_plan(model, item_mats, item_mask, cache,
-                             "sequential_embed")
-        h = plan.run(item_mats)
-        outputs.append(h[0, :batch.n_regions[i]].copy())
-    return outputs
+    """Back-compat alias: fetch (or record) the forward-only plan for one
+    request shape through a throwaway service (the logic lives in
+    :meth:`repro.serving.EmbeddingService._plan` now)."""
+    from ..serving import EmbeddingService
+    return EmbeddingService(model, plan_cache=cache)._plan(matrices, mask, tag)
 
 
 def batched_embed(cities: "Sequence[CityLike] | CityBatch",
@@ -306,6 +287,12 @@ def batched_embed(cities: "Sequence[CityLike] | CityBatch",
                   model: HAFusion | None = None, compiled: bool = False,
                   plan_cache: PlanCache | None = None) -> BatchedEmbedResult:
     """Embed a batch of cities in one vectorized forward pass.
+
+    .. deprecated::
+        Thin shim over :meth:`repro.serving.EmbeddingService.embed_batch`
+        — the unified serving path every embed request flows through.
+        New code should construct an :class:`~repro.serving.EmbeddingService`
+        (which adds request scheduling, warm-up packs and provenance).
 
     ``cities`` may be raw cities/view sets or a prebuilt :class:`CityBatch`.
     Builds (or reuses) one shared-weight model over the padded batch and
@@ -320,16 +307,9 @@ def batched_embed(cities: "Sequence[CityLike] | CityBatch",
     ``plan_cache`` defaults to the process-wide cache
     (``REPRO_PLAN_CACHE_DIR`` enables on-disk persistence).
     """
-    batch = _as_batch(cities)
-    model = model if model is not None else build_batched_model(batch, config, seed)
-    start = time.perf_counter()
-    if compiled:
-        cache = plan_cache if plan_cache is not None else default_plan_cache()
-        embeddings = _embed_batched_compiled(model, batch, cache)
-    else:
-        embeddings = _embed_batched(model, batch)
-    return BatchedEmbedResult(embeddings, time.perf_counter() - start,
-                              batch.batch_size, batch.n_max)
+    return _embed_via_service(
+        cities, _EmbedOptions(config, seed, model, compiled, plan_cache),
+        sequential=False)
 
 
 def sequential_embed(cities: "Sequence[CityLike] | CityBatch",
@@ -338,24 +318,20 @@ def sequential_embed(cities: "Sequence[CityLike] | CityBatch",
                      plan_cache: PlanCache | None = None) -> BatchedEmbedResult:
     """Reference per-city loop over the identical shared model.
 
-    Exists as the parity/baseline twin of :func:`batched_embed`: same
-    padding, same mask, same weights — just one city at a time.
+    .. deprecated::
+        Thin shim over :meth:`repro.serving.EmbeddingService.embed_each`
+        (see :func:`batched_embed`); kept as the parity/baseline twin.
+
+    Same padding, same mask, same weights — just one city at a time.
     ``compiled=True`` replays a per-item-shape inference plan instead of
     the eager tape; unpadded batches share one plan across cities, while
     a ragged batch holds one plan per distinct mask pattern — for very
     wide ragged batches pass a ``plan_cache`` whose capacity exceeds the
     number of distinct masks, or the LRU re-records on every pass.
     """
-    batch = _as_batch(cities)
-    model = model if model is not None else build_batched_model(batch, config, seed)
-    start = time.perf_counter()
-    if compiled:
-        cache = plan_cache if plan_cache is not None else default_plan_cache()
-        embeddings = _embed_sequential_compiled(model, batch, cache)
-    else:
-        embeddings = _embed_sequential(model, batch)
-    return BatchedEmbedResult(embeddings, time.perf_counter() - start,
-                              batch.batch_size, batch.n_max)
+    return _embed_via_service(
+        cities, _EmbedOptions(config, seed, model, compiled, plan_cache),
+        sequential=True)
 
 
 class BatchedTrainer:
@@ -441,7 +417,9 @@ class BatchedTrainer:
 
     def embed(self) -> list[np.ndarray]:
         """Frozen per-city embeddings from the shared model."""
-        return _embed_batched(self.model, self.batch)
+        from ..serving import EmbeddingService
+        return EmbeddingService(self.model, compiled=False).embed_batch(
+            self.batch)
 
 
 def engine_speedup_report(cities: "Sequence[CityLike] | CityBatch",
@@ -453,17 +431,19 @@ def engine_speedup_report(cities: "Sequence[CityLike] | CityBatch",
     each path, their speedup, and the max absolute embedding difference —
     the number the fig7 benchmark records and asserts on.
     """
+    from ..serving import EmbeddingService
     batch = _as_batch(cities)
     model = build_batched_model(batch, config, seed)
+    service = EmbeddingService(model, compiled=False)
     # Warm-up (first call pays numpy/BLAS setup) + parity check.
-    batched = _embed_batched(model, batch)
-    sequential = _embed_sequential(model, batch)
+    batched = service.embed_batch(batch)
+    sequential = service.embed_each(batch)
     max_abs_diff = max(float(np.abs(b - s).max())
                        for b, s in zip(batched, sequential))
     batched_seconds = min(
-        _timed(_embed_batched, model, batch) for _ in range(repeats))
+        _timed(service.embed_batch, batch) for _ in range(repeats))
     sequential_seconds = min(
-        _timed(_embed_sequential, model, batch) for _ in range(repeats))
+        _timed(service.embed_each, batch) for _ in range(repeats))
     return {
         "batch_size": batch.batch_size,
         "n_max": batch.n_max,
@@ -578,23 +558,23 @@ def serving_speedup_report(cities: "Sequence[CityLike] | CityBatch",
     the plan's activation-pool byte accounting — the JSON payload the
     substrate benchmark records and gates (≥2x, ≤1e-8 in float64).
     """
+    from ..serving import EmbeddingService
     batch = _as_batch(cities)
     model = build_batched_model(batch, config, seed)
     cache = plan_cache if plan_cache is not None else PlanCache()
+    service = EmbeddingService(model, plan_cache=cache)
     # Warm-up (numpy/BLAS setup + the record epoch) and parity check.
-    eager = _embed_batched(model, batch)
+    eager = service.embed_batch(batch, compiled=False)
     start = time.perf_counter()
-    compiled = _embed_batched_compiled(model, batch, cache)
+    compiled = service.embed_batch(batch, compiled=True)
     record_seconds = time.perf_counter() - start
     max_abs_diff = max(float(np.abs(e - c).max())
                        for e, c in zip(eager, compiled))
     eager_seconds = min(
-        _timed(_embed_batched, model, batch) for _ in range(repeats))
+        _timed(service.embed_batch, batch, False) for _ in range(repeats))
     compiled_seconds = min(
-        _timed(_embed_batched_compiled, model, batch, cache)
-        for _ in range(repeats))
-    plan = _serving_plan(model, batch.matrices, batch.forward_mask(),
-                         cache, "batched_embed")
+        _timed(service.embed_batch, batch, True) for _ in range(repeats))
+    plan = service.plan_for(batch)
     buffers = plan.buffer_report()
     total_regions = sum(batch.n_regions)
     return {

@@ -137,6 +137,15 @@ def compute_embeddings(model_name: str, city: SyntheticCity,
     (``compiled=None`` defers to :func:`use_compiled_training`); the mode
     is part of the cache key so eager and compiled runs never share
     cached embeddings.
+
+    .. deprecated::
+        The embedding production at the end is a thin shim over
+        :class:`repro.serving.EmbeddingService` — the trained model
+        answers one :class:`~repro.serving.EmbedRequest` through the
+        unified serving path (compiled plan replay when training ran
+        compiled), so every experiment exercises the same code as
+        production serving.  The serving route is part of the cache key
+        (``embed: service``).
     """
     profile = get_profile(profile)
     is_hafusion = model_name == "hafusion"
@@ -147,6 +156,11 @@ def compute_embeddings(model_name: str, city: SyntheticCity,
     extra = dict(config_overrides or {})
     if compiled:
         extra["compiled"] = True
+    if is_hafusion:
+        # Embeddings come off the serving path (a (1, n, d) service
+        # batch), not the legacy unbatched model.embed — keep the two
+        # from ever sharing a cache entry.
+        extra["embed"] = "service"
     key = _cache_key(model_name, city, profile.seed, epochs, extra)
     cache_file = cache_dir() / f"{model_name}-{city.name}-{key}.npz"
     if use_cache and cache_file.exists():
@@ -171,7 +185,13 @@ def compute_embeddings(model_name: str, city: SyntheticCity,
             views = city.views()
             if view_names is not None:
                 views = views.subset(view_names)
-            embeddings = model.embed(views)
+            # Serve the embeddings through the unified service path (one
+            # request, compiled plan replay when training ran compiled).
+            from ..serving import EmbedRequest, EmbeddingService
+            service = EmbeddingService(model, n_max=views.n_regions,
+                                       compiled=compiled)
+            embeddings = service.run(
+                [EmbedRequest(views, name=city.name)])[0].embeddings
         else:
             model = make_baseline(model_name, city, seed=profile.seed,
                                   **(config_overrides or {}))

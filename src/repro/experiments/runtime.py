@@ -8,7 +8,11 @@ orders of magnitude slower downstream (prompt learning per task).
 
 HAFusion's recorded training wall-clock reflects the compiled
 record/replay executor (the production training path); set
-``REPRO_EAGER=1`` to time the eager tape instead.
+``REPRO_EAGER=1`` to time the eager tape instead.  Its embeddings are
+produced through the unified :class:`repro.serving.EmbeddingService`
+path (one request through the shape-bucket scheduler, compiled plan
+replay) — the same code that answers production traffic — which the
+payload records as ``embedding_path``.
 """
 
 from __future__ import annotations
@@ -45,7 +49,8 @@ def run_table5(profile: str = "quick", cities: tuple[str, ...] = CITIES,
             downstream[model_name][city_name] = result.seconds
     return {"training": training, "downstream": downstream,
             "profile": prof.name, "cities": cities, "models": models,
-            "compiled_training": use_compiled_training()}
+            "compiled_training": use_compiled_training(),
+            "embedding_path": "service"}
 
 
 def format_table5(payload: dict) -> str:

@@ -37,6 +37,7 @@ from ..core import (
 from ..data import load_city
 from ..eval.reporting import format_table
 from ..nn import PlanCache
+from ..serving import serving_scheduler_report
 from .common import (
     MODEL_LABELS,
     MODEL_ORDER,
@@ -60,11 +61,19 @@ _CONV_CHANNELS = {"nyc": 32, "nyc_360": 16, "nyc_720": 8, "nyc_1440": 4}
 _ENGINE_SHARD_REGIONS = 8
 
 
+#: City the scheduler-throughput section runs on: the base NYC size —
+#: big enough for meaningful compute, small enough that the uniform
+#: section's (max_batch, n, n) conv buffers stay modest even inside the
+#: nyc_1440 sweep.
+_SCHEDULER_CITY = "nyc"
+
+
 def run_engine_comparison(size: str, seed: int = 7,
                           shard_regions: int = _ENGINE_SHARD_REGIONS,
                           repeats: int = 5) -> dict:
     """Batched vs. sequential engine inference on shards of one city,
-    plus eager vs compiled serving on the full city.
+    plus eager vs compiled serving on the full city and the serving
+    scheduler's uniform/ragged throughput on the base city.
 
     The serving comparison's plan spec is persisted under the experiment
     cache (``.cache/plans``), so a repeated run relowers the cached spec
@@ -81,6 +90,11 @@ def run_engine_comparison(size: str, seed: int = 7,
     report["serving"] = serving_speedup_report([city], config, seed=seed,
                                                repeats=3,
                                                plan_cache=plan_cache)
+    sched_city = load_city(_SCHEDULER_CITY, seed=seed)
+    sched_config = HAFusionConfig.for_city(_SCHEDULER_CITY, conv_channels=8)
+    report["scheduler"] = serving_scheduler_report(
+        sched_city.views(), sched_config, seed=seed, max_batch=4, repeats=3)
+    report["scheduler"]["city"] = _SCHEDULER_CITY
     return report
 
 
@@ -146,4 +160,15 @@ def format_fig7(payload: dict) -> str:
                 f"{serving['speedup']:.2f}x speedup, max |Δ| = "
                 f"{serving['max_abs_diff']:.1e}, activation pool "
                 f"{serving['slot_reduction']:.0%} smaller")
+        scheduler = engine.get("scheduler")
+        if scheduler:
+            ragged = scheduler["ragged"]
+            sections.append(
+                f"Serving scheduler ({scheduler['city']}): ragged traffic "
+                f"{ragged['scheduler_regions_per_sec']:.0f} regions/s "
+                f"co-batched vs {ragged['sequential_regions_per_sec']:.0f} "
+                f"sequential — {ragged['speedup']:.2f}x, padding overhead "
+                f"{ragged['padding_overhead']:.0%}, uniform-traffic "
+                f"efficiency {scheduler['uniform']['efficiency']:.2f}x of "
+                f"the direct batched path")
     return "\n\n".join(sections)

@@ -1554,6 +1554,11 @@ class InferencePlan:
         self._output = output.data
         self._param_buffers = ([(p, p.data) for p in params]
                                if params is not None else [])
+        #: Residency hook: how many requests this plan has replayed.
+        #: A long-lived serving process reads this (via
+        #: ``PlanCache.resident_report`` / ``EmbeddingService.stats``)
+        #: to see which resident plans are hot.
+        self.replays = 0
 
     # ------------------------------------------------------------------
     def _assign_buffers(self, order, output, shapes, dtypes,
@@ -1676,6 +1681,7 @@ class InferencePlan:
             np.copyto(slot, src)
         for fn in self._forward_ops:
             fn()
+        self.replays += 1
         return self._output
 
 

@@ -404,6 +404,22 @@ class PlanCache:
             "cached_specs": len(self._specs),
         }
 
+    def resident_report(self) -> list[dict]:
+        """One row per *live* plan (lowered kernels bound to parameter
+        arrays and held in memory) — the residency view a long-lived
+        serving process watches.  ``replays`` counts requests served by
+        the resident program without any record or relower work."""
+        rows = []
+        for key, plan in self._plans.items():
+            rows.append({
+                "key": hashlib.sha256(repr(key).encode()).hexdigest()[:12],
+                "shapes": [list(s) for s in key[3]] if len(key) > 3 else [],
+                "replays": plan.replays,
+                "forward_ops": plan.num_forward_ops,
+                "slot_bytes": plan.buffer_report()["slot_bytes"],
+            })
+        return sorted(rows, key=lambda r: -r["replays"])
+
 
 # ----------------------------------------------------------------------
 # Process-wide default cache

@@ -1,0 +1,50 @@
+"""``repro.serving`` — the unified embedding-serving subsystem.
+
+The production-facing API over everything the execution engine
+(:mod:`repro.core.engine`) and the compiled-plan machinery
+(:mod:`repro.nn.compile` / :mod:`repro.nn.plancache`) provide:
+
+- :class:`EmbedRequest` / :class:`EmbedResponse` — the typed request
+  schema (city views + dtype + optional region subset in; embeddings +
+  plan/bucket/padding provenance out);
+- :class:`EmbeddingService` — a facade owning one shared model and one
+  plan cache, routing every request through a shape-bucket scheduler
+  (:class:`ShapeBucketScheduler`) with a max-wait/max-batch flush
+  policy (:class:`FlushPolicy`);
+- :class:`WarmupPack` — deploy-time pre-recorded plan grids, so a fresh
+  service performs zero record epochs on warmed shapes;
+- :func:`serving_scheduler_report` — the throughput benchmark payload
+  (uniform traffic vs the direct batched path, ragged traffic vs
+  sequential serving).
+
+The legacy entry points — :func:`repro.core.engine.batched_embed`,
+:func:`repro.core.engine.sequential_embed` and
+:func:`repro.experiments.common.compute_embeddings` — are thin
+deprecated shims over this package.
+"""
+
+from .api import (
+    EmbedRequest,
+    EmbedResponse,
+    EmbedTicket,
+    FlushPolicy,
+    default_bucket_edges,
+)
+from .report import serving_scheduler_report
+from .scheduler import BucketKey, ShapeBucketScheduler
+from .service import EmbeddingService
+from .warmup import WarmupPack, default_shape_grid
+
+__all__ = [
+    "EmbedRequest",
+    "EmbedResponse",
+    "EmbedTicket",
+    "FlushPolicy",
+    "default_bucket_edges",
+    "BucketKey",
+    "ShapeBucketScheduler",
+    "EmbeddingService",
+    "WarmupPack",
+    "default_shape_grid",
+    "serving_scheduler_report",
+]

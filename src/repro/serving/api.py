@@ -1,0 +1,172 @@
+"""Typed request/response layer of the serving API.
+
+An :class:`EmbedRequest` describes one city's embedding demand — its
+views, the embedding dtype the caller wants back, and an optional region
+subset.  The :class:`~repro.serving.service.EmbeddingService` answers it
+with an :class:`EmbedResponse` carrying the embeddings plus full
+provenance: which shape bucket served it, whether the compiled plan was
+a cache hit or paid a record epoch, how much padding the co-batch
+wasted, and the wall-clock split between queue wait and compute.
+
+:class:`FlushPolicy` is the scheduler's knob set: bucket edges quantize
+``n_regions`` into co-batching groups, ``max_batch`` caps how many
+requests one flush fuses into a single ``(b, n, d)`` pass, and
+``max_wait`` bounds how long a queued request may age before
+:meth:`~repro.serving.service.EmbeddingService.poll` flushes its bucket
+regardless of fill.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..data.city import SyntheticCity
+from ..data.features import ViewSet
+
+__all__ = [
+    "EmbedRequest",
+    "EmbedResponse",
+    "EmbedTicket",
+    "FlushPolicy",
+    "default_bucket_edges",
+]
+
+_REQUEST_IDS = itertools.count(1)
+
+
+def default_bucket_edges(n_max: int) -> tuple[int, ...]:
+    """Halving grid ``(…, n_max/4, n_max/2, n_max)``: ragged traffic is
+    grouped with requests within 2x of its size, while full-size
+    requests keep a dedicated bucket for the unpadded fast path."""
+    if n_max < 1:
+        raise ValueError(f"n_max must be >= 1, got {n_max}")
+    edges = [n_max]
+    while edges[-1] > 8:
+        edges.append(edges[-1] // 2)
+    return tuple(sorted(edges))
+
+
+@dataclass(frozen=True)
+class FlushPolicy:
+    """Scheduler flush knobs (see module docstring)."""
+
+    max_batch: int = 8
+    max_wait: float = 0.05
+    bucket_edges: tuple[int, ...] | None = None   # None -> halving grid
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {self.max_wait}")
+        if self.bucket_edges is not None:
+            edges = tuple(sorted(int(e) for e in self.bucket_edges))
+            if not edges or edges[0] < 1:
+                raise ValueError(f"bucket edges must be positive, got {edges}")
+            object.__setattr__(self, "bucket_edges", edges)
+
+
+class EmbedRequest:
+    """One city's embedding demand.
+
+    Parameters
+    ----------
+    views:
+        The city's :class:`~repro.data.features.ViewSet` (or a
+        :class:`~repro.data.city.SyntheticCity`, whose ``views()`` are
+        taken).  View names must match the service's; region count and
+        view widths may be smaller (the scheduler pads them).
+    dtype:
+        dtype of the returned embeddings; also a co-batching key — the
+        scheduler never fuses requests of different dtypes into one
+        batch.  ``None`` means the service's model dtype.
+    region_subset:
+        Optional region indices to return (in the requested order); the
+        full city still flows through the model — attention is global —
+        but the response carries only these rows.
+    name:
+        Label for provenance; defaults to the city's name when the
+        request was built from a :class:`SyntheticCity`.
+    """
+
+    def __init__(self, views: "ViewSet | SyntheticCity",
+                 dtype: "np.dtype | str | None" = None,
+                 region_subset: Sequence[int] | None = None,
+                 name: str = ""):
+        if isinstance(views, SyntheticCity):
+            name = name or views.name
+            views = views.views()
+        self.views = views
+        self.dtype = np.dtype(dtype) if dtype is not None else None
+        self.region_subset = (None if region_subset is None
+                              else [int(i) for i in region_subset])
+        if self.region_subset is not None:
+            bad = [i for i in self.region_subset
+                   if not 0 <= i < views.n_regions]
+            if bad:
+                raise ValueError(
+                    f"region_subset indices {bad} out of range for a city "
+                    f"with {views.n_regions} regions")
+        self.name = name
+        self.request_id = next(_REQUEST_IDS)
+
+    @property
+    def n_regions(self) -> int:
+        return self.views.n_regions
+
+    def __repr__(self) -> str:
+        return (f"EmbedRequest(id={self.request_id}, name={self.name!r}, "
+                f"n={self.n_regions}, dtype={self.dtype})")
+
+
+@dataclass
+class EmbedResponse:
+    """Embeddings plus provenance for one served request.
+
+    ``plan_event`` records how the compiled plan behind the serving
+    batch was obtained: ``"hit"`` (live resident plan), ``"spec"``
+    (relowered from a cached spec, no record), ``"disk"`` (spec loaded
+    from the on-disk cache, no record), ``"record"`` (paid a record
+    epoch) or ``"eager"`` (service running uncompiled).
+    ``padding_waste`` is the padded fraction of the batch that served
+    this request: ``1 − Σ n_i / (b · n_max)``.
+    """
+
+    request_id: int
+    name: str
+    embeddings: np.ndarray
+    bucket_id: str
+    n_regions: int
+    batch_size: int
+    padded: bool
+    padding_waste: float
+    plan_event: str
+    wait_seconds: float
+    compute_seconds: float
+
+
+@dataclass
+class EmbedTicket:
+    """Handle returned by :meth:`EmbeddingService.submit`; ``response``
+    is filled when the scheduler flushes the request's bucket.
+
+    ``submitted_at`` is the *scheduling* clock (caller-injectable via
+    ``submit(now=...)`` for deterministic max-wait tests);
+    ``submitted_mono`` is always ``time.monotonic()`` and is what the
+    response's ``wait_seconds`` provenance is measured against, so an
+    injected scheduling clock never corrupts the wait accounting.
+    """
+
+    request: EmbedRequest
+    bucket_id: str
+    submitted_at: float
+    response: EmbedResponse | None = None
+    submitted_mono: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.response is not None

@@ -1,0 +1,127 @@
+"""Serving benchmarks: scheduler throughput vs the direct embed paths.
+
+Two traffic shapes, matching the ROADMAP's serving scenarios:
+
+- **uniform** — every request is the full-size city, so the scheduler
+  co-batches them into the unpadded compiled fast path.  Its throughput
+  must not fall below the direct :meth:`EmbeddingService.embed_batch`
+  call on the same prebuilt batch (scheduler bookkeeping is queue
+  append/pop — noise next to a model pass);
+- **ragged** — mixed-size region shards, the traffic shape the
+  scheduler exists for.  Co-batching under padded masks must beat
+  sequential (one-request-at-a-time) serving by ≥1.5x regions/sec.
+
+Both sides replay warm resident plans (record epochs are paid before
+timing, exactly as a warm server runs) and are best-of-``repeats``.
+``benchmarks/test_serving_service.py`` records this payload in the
+pytest-benchmark JSON and asserts the gates.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.config import HAFusionConfig
+from ..core.engine import make_batch, shard_viewset
+from ..data.features import ViewSet
+from .api import EmbedRequest, FlushPolicy
+from .service import EmbeddingService
+
+__all__ = ["serving_scheduler_report"]
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def serving_scheduler_report(views: ViewSet,
+                             config: HAFusionConfig | None = None,
+                             seed: int = 7, max_batch: int = 8,
+                             uniform_batch: int | None = None,
+                             ragged_shard_counts: tuple[int, ...] = (6, 9, 14),
+                             repeats: int = 3) -> dict:
+    """Measure scheduler throughput on uniform and ragged traffic.
+
+    ``views`` is the full-size city; ragged traffic is built by
+    sharding it at each count in ``ragged_shard_counts`` and mixing the
+    shards, so request sizes span roughly a 2.3x range and no two shard
+    populations pad identically.  ``uniform_batch`` (default
+    ``min(max_batch, 8)``) sizes the uniform-traffic burst — full-size
+    cities are quadratic in ``n``, so the uniform section stays modest
+    while the ragged section co-batches up to ``max_batch`` shards.
+    """
+    # ------------------------------------------------------------------
+    # Uniform: full-city requests against the direct batched path.
+    # ------------------------------------------------------------------
+    uniform_batch = (min(max_batch, 8) if uniform_batch is None
+                     else uniform_batch)
+    policy = FlushPolicy(max_batch=max_batch, max_wait=60.0)
+    service = EmbeddingService.build([views] * uniform_batch, config, seed,
+                                     policy=policy)
+    direct_batch = make_batch([views] * uniform_batch)
+    service.embed_batch(direct_batch)          # record epoch (excluded)
+
+    def scheduler_uniform():
+        service.run([EmbedRequest(views) for _ in range(uniform_batch)])
+
+    scheduler_uniform()                        # warm the flush path
+    direct_seconds = min(_timed(lambda: service.embed_batch(direct_batch))
+                         for _ in range(repeats))
+    scheduler_seconds = min(_timed(scheduler_uniform)
+                            for _ in range(repeats))
+    uniform_regions = uniform_batch * views.n_regions
+    uniform = {
+        "n_regions": views.n_regions,
+        "batch_size": uniform_batch,
+        "direct_seconds": direct_seconds,
+        "scheduler_seconds": scheduler_seconds,
+        "direct_regions_per_sec": uniform_regions / direct_seconds,
+        "scheduler_regions_per_sec": uniform_regions / scheduler_seconds,
+        "efficiency": direct_seconds / scheduler_seconds,
+    }
+
+    # ------------------------------------------------------------------
+    # Ragged: mixed-size shards, scheduler vs sequential serving.
+    # ------------------------------------------------------------------
+    traffic: list[ViewSet] = []
+    for count in ragged_shard_counts:
+        traffic.extend(shard_viewset(views, count))
+    ragged = EmbeddingService.build(traffic, config, seed, policy=policy)
+    batch_all = make_batch(traffic, n_max=ragged.n_max,
+                           view_dims=ragged.view_dims)
+
+    def sequential():
+        return ragged.embed_each(batch_all)
+
+    def scheduler():
+        return ragged.run([EmbedRequest(vs) for vs in traffic])
+
+    # Warm both paths (records / relowers every plan) + parity check.
+    seq_out = sequential()
+    responses = scheduler()
+    max_abs_diff = max(float(np.abs(r.embeddings - s).max())
+                       for r, s in zip(responses, seq_out))
+    sequential_seconds = min(_timed(sequential) for _ in range(repeats))
+    scheduler_seconds = min(_timed(scheduler) for _ in range(repeats))
+    total_regions = sum(vs.n_regions for vs in traffic)
+    stats = ragged.stats()
+    return {
+        "uniform": uniform,
+        "ragged": {
+            "requests": len(traffic),
+            "n_max": ragged.n_max,
+            "sizes": sorted({vs.n_regions for vs in traffic}),
+            "sequential_seconds": sequential_seconds,
+            "scheduler_seconds": scheduler_seconds,
+            "speedup": sequential_seconds / scheduler_seconds,
+            "sequential_regions_per_sec": total_regions / sequential_seconds,
+            "scheduler_regions_per_sec": total_regions / scheduler_seconds,
+            "max_abs_diff": max_abs_diff,
+            "padding_overhead": stats["padding_overhead"],
+        },
+        "scheduler_stats": stats,
+    }

@@ -1,0 +1,154 @@
+"""Shape-bucket request scheduler.
+
+Queued :class:`~repro.serving.api.EmbedRequest`\\ s are grouped by
+``(n_regions_bucket, view_dims, dtype)`` so each flush fuses requests
+that batch well together:
+
+- the bucket at the service's full ``n_max`` holds full-size requests —
+  a flush of those is **unpadded** (no keep mask, the compiled fast
+  path, one resident plan per batch size);
+- smaller buckets hold ragged traffic quantized to halving edges (a
+  request lands in the smallest edge ≥ its ``n_regions``), so a flush
+  co-batches cities within 2x of each other's size under one padded +
+  masked pass.  Every batch is still padded to the *model's* ``n_max``
+  — RegionSA's correlation MLP fixes the attention width at
+  construction (see :class:`repro.core.intra_afl.RegionSA`) — the
+  bucket edge controls *who is co-batched*, which is what makes mask
+  patterns (and therefore compiled-plan cache keys) recur under
+  repeating traffic;
+- ``view_dims`` and ``dtype`` are exact-match keys: requests with
+  different native view widths or different requested dtypes are never
+  fused into one batch.
+
+Flush triggers (see :class:`~repro.serving.api.FlushPolicy`): a bucket
+reaching ``max_batch`` is flushed by ``submit`` itself; a bucket whose
+oldest request has waited ``max_wait`` seconds is flushed by the next
+``poll``/``submit`` (the service is synchronous — there is no
+background thread, so time-based flushes happen at call boundaries);
+``flush()`` drains everything.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import deque
+from dataclasses import dataclass, field
+
+from .api import EmbedTicket, FlushPolicy, default_bucket_edges
+
+__all__ = ["BucketKey", "BucketQueue", "ShapeBucketScheduler"]
+
+
+@dataclass(frozen=True)
+class BucketKey:
+    """Co-batching identity: quantized region count, native view widths,
+    requested dtype."""
+
+    n_bucket: int
+    view_dims: tuple[int, ...]
+    dtype: str
+
+    @property
+    def bucket_id(self) -> str:
+        dims = "x".join(str(d) for d in self.view_dims)
+        return f"n{self.n_bucket}/d{dims}/{self.dtype}"
+
+
+@dataclass
+class BucketQueue:
+    key: BucketKey
+    tickets: deque = field(default_factory=deque)
+
+    @property
+    def oldest_at(self) -> float | None:
+        return self.tickets[0].submitted_at if self.tickets else None
+
+
+class ShapeBucketScheduler:
+    """FIFO queues per :class:`BucketKey` plus the flush-decision logic.
+
+    The scheduler holds tickets only — building the padded batch and
+    running the model is the service's job (`take` hands back up to
+    ``max_batch`` tickets in submission order).
+    """
+
+    def __init__(self, n_max: int, policy: FlushPolicy | None = None,
+                 default_dtype: str = "model"):
+        self.policy = policy if policy is not None else FlushPolicy()
+        #: dtype label for requests that did not ask for one — the
+        #: service passes its model dtype so an explicit request for the
+        #: model dtype co-batches with default requests.
+        self.default_dtype = default_dtype
+        edges = self.policy.bucket_edges
+        if edges is None:
+            edges = default_bucket_edges(n_max)
+        if edges[-1] < n_max:
+            raise ValueError(f"largest bucket edge {edges[-1]} is below the "
+                             f"service n_max {n_max}")
+        self.edges = edges
+        self._queues: dict[BucketKey, BucketQueue] = {}
+
+    # ------------------------------------------------------------------
+    def bucket_edge(self, n_regions: int) -> int:
+        """Smallest edge ≥ ``n_regions``; a request *exactly at* an edge
+        belongs to that edge's bucket (no off-by-one promotion)."""
+        if n_regions < 1:
+            raise ValueError(f"n_regions must be >= 1, got {n_regions}")
+        if n_regions > self.edges[-1]:
+            raise ValueError(f"request with n={n_regions} exceeds the "
+                             f"largest bucket edge {self.edges[-1]}")
+        return self.edges[bisect_left(self.edges, n_regions)]
+
+    def key_for(self, ticket: EmbedTicket) -> BucketKey:
+        request = ticket.request
+        return BucketKey(self.bucket_edge(request.n_regions),
+                         tuple(request.views.dims()),
+                         str(request.dtype) if request.dtype is not None
+                         else self.default_dtype)
+
+    # ------------------------------------------------------------------
+    def enqueue(self, ticket: EmbedTicket) -> BucketKey:
+        key = self.key_for(ticket)
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = self._queues[key] = BucketQueue(key)
+        queue.tickets.append(ticket)
+        return key
+
+    def take(self, key: BucketKey,
+             limit: int | None = None) -> list[EmbedTicket]:
+        """Pop up to ``limit`` (default ``max_batch``) tickets, FIFO."""
+        queue = self._queues.get(key)
+        if queue is None:
+            return []
+        limit = limit if limit is not None else self.policy.max_batch
+        taken = [queue.tickets.popleft()
+                 for _ in range(min(limit, len(queue.tickets)))]
+        if not queue.tickets:
+            del self._queues[key]
+        return taken
+
+    def requeue_front(self, key: BucketKey,
+                      tickets: list[EmbedTicket]) -> None:
+        """Put taken tickets back at the head of their queue (in their
+        original order) — the failed-flush recovery path."""
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = self._queues[key] = BucketQueue(key)
+        queue.tickets.extendleft(reversed(tickets))
+
+    def full_buckets(self) -> list[BucketKey]:
+        return [key for key, q in self._queues.items()
+                if len(q.tickets) >= self.policy.max_batch]
+
+    def overdue_buckets(self, now: float) -> list[BucketKey]:
+        return [key for key, q in self._queues.items()
+                if q.oldest_at is not None
+                and now - q.oldest_at >= self.policy.max_wait]
+
+    def nonempty_buckets(self) -> list[BucketKey]:
+        return list(self._queues)
+
+    @property
+    def pending(self) -> int:
+        return sum(len(q.tickets) for q in self._queues.values())

@@ -1,0 +1,18 @@
+"""Shared fixtures for the serving test suites (one definition of the
+tiny model family and the synthetic view sets, so the scheduler and
+service suites can never drift onto different models)."""
+
+import numpy as np
+
+from repro.data.features import ViewSet
+
+#: Smallest HAFusion that still exercises every module.
+TINY = dict(d=16, d_prime=8, conv_channels=2, memory_size=4, num_heads=2,
+            intra_layers=1, inter_layers=1, fusion_layers=1, dropout=0.0)
+
+
+def make_views(n_regions: int, dims=(12, 6), seed: int = 0) -> ViewSet:
+    rng = np.random.default_rng(seed)
+    return ViewSet(names=("mobility", "poi"),
+                   matrices=[rng.standard_normal((n_regions, d))
+                             for d in dims])

@@ -1,0 +1,130 @@
+"""Unit tests for the nightly benchmark regression detector
+(``scripts/compare_benchmarks.py``) — previously exercised only by the
+CI job itself."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (Path(__file__).resolve().parent.parent
+           / "scripts" / "compare_benchmarks.py")
+_spec = importlib.util.spec_from_file_location("compare_benchmarks", _SCRIPT)
+compare_benchmarks = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_benchmarks)
+
+
+def payload(mean: float, extra_info: dict | None = None,
+            name: str = "bench::one") -> dict:
+    return {"benchmarks": [{
+        "fullname": name,
+        "stats": {"mean": mean},
+        "extra_info": extra_info or {},
+    }]}
+
+
+def write(tmp_path: Path, name: str, data: dict) -> Path:
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return path
+
+
+class TestIterGauges:
+    def test_finds_nested_speedups_and_throughputs(self):
+        extra = {
+            "engine": {"speedup": 3.1, "max_abs_diff": 0.0},
+            "scheduler": {
+                "ragged": {"speedup": 1.7,
+                           "scheduler_regions_per_sec": 1700.0,
+                           "sequential_regions_per_sec": 1000.0},
+                "stats": {"buckets": {"n30/d360/float64":
+                                      {"regions_per_sec": 950.0,
+                                       "requests": 29}}},
+            },
+        }
+        gauges = dict(compare_benchmarks.iter_gauges(extra))
+        assert gauges == {
+            "engine.speedup": 3.1,
+            "scheduler.ragged.speedup": 1.7,
+            "scheduler.ragged.scheduler_regions_per_sec": 1700.0,
+            "scheduler.ragged.sequential_regions_per_sec": 1000.0,
+            "scheduler.stats.buckets.n30/d360/float64.regions_per_sec": 950.0,
+        }
+
+    def test_ignores_non_gauge_numbers_and_bools(self):
+        assert dict(compare_benchmarks.iter_gauges(
+            {"padded": True, "seconds": 1.0, "speedup_note": 3.0})) == {}
+
+
+class TestRegressionDetector:
+    def test_wall_clock_regression_beyond_20_percent_flagged(self):
+        rows, regressions = compare_benchmarks.compare(
+            {"b": payload(1.0)["benchmarks"][0]},
+            {"b": payload(1.25)["benchmarks"][0]},
+            threshold=0.2)
+        assert len(regressions) == 1
+        assert "1.0000s -> 1.2500s" in regressions[0]
+
+    def test_wall_clock_within_threshold_not_flagged(self):
+        _, regressions = compare_benchmarks.compare(
+            {"b": payload(1.0)["benchmarks"][0]},
+            {"b": payload(1.19)["benchmarks"][0]}, threshold=0.2)
+        assert regressions == []
+
+    def test_gauge_drop_beyond_threshold_flagged(self):
+        old = payload(1.0, {"serving": {"speedup": 2.9}})["benchmarks"][0]
+        new = payload(1.0, {"serving": {"speedup": 2.0}})["benchmarks"][0]
+        _, regressions = compare_benchmarks.compare({"b": old}, {"b": new},
+                                                    threshold=0.2)
+        assert len(regressions) == 1
+        assert "serving.speedup" in regressions[0]
+
+    def test_per_bucket_throughput_drop_flagged(self):
+        bucket = "buckets.n30/d12x6/float64.regions_per_sec"
+        old = payload(1.0, {"scheduler": {"buckets": {
+            "n30/d12x6/float64": {"regions_per_sec": 1000.0}}}})
+        new = payload(1.0, {"scheduler": {"buckets": {
+            "n30/d12x6/float64": {"regions_per_sec": 700.0}}}})
+        _, regressions = compare_benchmarks.compare(
+            {"b": old["benchmarks"][0]}, {"b": new["benchmarks"][0]},
+            threshold=0.2)
+        assert len(regressions) == 1
+        assert bucket in regressions[0]
+
+    def test_gauge_improvement_not_flagged(self):
+        old = payload(1.0, {"speedup": 2.0})["benchmarks"][0]
+        new = payload(1.0, {"speedup": 3.0})["benchmarks"][0]
+        rows, regressions = compare_benchmarks.compare({"b": old}, {"b": new},
+                                                       threshold=0.2)
+        assert regressions == []
+        assert any("speedup" in r for r in rows)
+
+
+class TestMain:
+    def test_exit_codes_and_summary(self, tmp_path, capsys):
+        baseline = write(tmp_path, "base.json",
+                         payload(1.0, {"speedup": 2.0}))
+        current = write(tmp_path, "cur.json",
+                        payload(1.5, {"speedup": 1.0}))
+        # Default: regressions are surfaced, exit 0 (nightly must not
+        # fail on shared-runner noise).
+        assert compare_benchmarks.main([str(baseline), str(current)]) == 0
+        out = capsys.readouterr().out
+        assert "2 regression(s) beyond 20%" in out
+        assert ":warning:" in out
+        # --fail-on-regression flips the exit code.
+        assert compare_benchmarks.main(
+            [str(baseline), str(current), "--fail-on-regression"]) == 1
+
+    def test_clean_run(self, tmp_path, capsys):
+        baseline = write(tmp_path, "base.json", payload(1.0))
+        current = write(tmp_path, "cur.json", payload(1.0))
+        assert compare_benchmarks.main([str(baseline), str(current)]) == 0
+        assert "No regressions beyond 20%" in capsys.readouterr().out
+
+    def test_disjoint_benchmarks(self, tmp_path, capsys):
+        baseline = write(tmp_path, "base.json", payload(1.0, name="a"))
+        current = write(tmp_path, "cur.json", payload(1.0, name="b"))
+        assert compare_benchmarks.main([str(baseline), str(current)]) == 0
+        assert "No overlapping benchmarks" in capsys.readouterr().out
