@@ -1,0 +1,135 @@
+"""Serving-frontend trace-replay benchmark: end-to-end socket latency.
+
+Replays a mixed trace — two cities (chi n=77, nyc n=180), full views
+and contiguous shards, dtype-mixed (float64/float32), with region
+subsets — through the NDJSON frontend and a 2-worker
+:class:`ServingFleet` warmed from a shared :class:`WarmupPack`, and
+records into the nightly pytest-benchmark JSON:
+
+- ``extra_info["frontend"]["latency"]`` — per-request p50/p99 (diffed
+  night-over-night by ``scripts/compare_benchmarks.py`` as
+  lower-is-better gauges);
+- ``extra_info["frontend"]["regions_per_sec"]`` — aggregate throughput
+  over the replay window (higher-is-better gauge).
+
+Correctness rides along as hard gates: the socket responses must be
+**bit-identical** to the in-process :meth:`EmbeddingService.run` on the
+same trace, served with **zero record epochs** across the fleet.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import HAFusionConfig, shard_viewset
+from repro.data import load_city
+from repro.serving import (
+    EmbedRequest,
+    EmbeddingService,
+    FlushPolicy,
+    FrontendThread,
+    ServingFleet,
+    ServingFrontend,
+    WarmupPack,
+)
+
+_SEED = 7
+#: High max_wait: the client's explicit ``flush`` op dispatches
+#: stragglers, so co-batch compositions are deterministic (and identical
+#: to the in-process reference), not timing-dependent.
+_POLICY = FlushPolicy(max_batch=4, max_wait=30.0)
+
+
+def build_trace_service() -> EmbeddingService:
+    """Deterministic service every fleet worker (and the in-process
+    reference) reconstructs independently — module-level so it pickles
+    under any multiprocessing start method."""
+    traffic = [load_city("chi", seed=_SEED).views(),
+               load_city("nyc", seed=_SEED).views()]
+    config = HAFusionConfig.for_city("nyc", conv_channels=4, dropout=0.0)
+    return EmbeddingService.build(traffic, config, seed=_SEED,
+                                  policy=_POLICY)
+
+
+def make_trace() -> list[EmbedRequest]:
+    """Mixed-city/dtype/subset replay trace.
+
+    Only default (model) and float32 dtypes: an explicit float64 request
+    would co-batch with default-dtype ones in-process but not at the
+    frontend (which labels the default bucket ``"model"``), changing
+    compositions without changing values.
+    """
+    chi = load_city("chi", seed=_SEED).views()
+    nyc = load_city("nyc", seed=_SEED).views()
+    requests = [EmbedRequest(chi, name="chi"),
+                EmbedRequest(nyc, name="nyc")]
+    for i, shard in enumerate(shard_viewset(chi, 4)):
+        requests.append(EmbedRequest(
+            shard, dtype="float32" if i % 2 else None,
+            region_subset=[0, 2] if i == 3 else None,
+            name=f"chi/{i}"))
+    for i, shard in enumerate(shard_viewset(nyc, 5)):
+        requests.append(EmbedRequest(
+            shard, dtype="float32" if i % 2 else None,
+            region_subset=[1, 5, 11] if i == 0 else None,
+            name=f"nyc/{i}"))
+    return requests
+
+
+class TestFrontendTraceBenchmark:
+    def test_frontend_trace_replay(self, benchmark, tmp_path):
+        """Socket replay of the mixed trace against a warm 2-worker
+        fleet.  Skipped under ``--benchmark-disable`` (the every-push CI
+        smoke): the correctness half is locked down by
+        ``tests/serving/test_frontend.py`` in tier-1 and by the
+        ``serving-smoke`` job's ``frontend_smoke.py`` cross-process run;
+        only the latency/throughput gauges need timing.
+        """
+        from bench_utils import run_once
+
+        if not benchmark.enabled:
+            pytest.skip("timing-gated benchmark; parity covered in tier-1")
+
+        pack_dir = tmp_path / "warm_pack"
+        service = build_trace_service()
+        # A minimal grid: the reference replay below records every
+        # serve-time co-batch composition into the pack directory anyway.
+        WarmupPack.build(service, shape_grid=[(1, service.n_max)],
+                         directory=pack_dir)
+        reference = service.run(make_trace())
+
+        fleet = ServingFleet(build_trace_service, n_workers=2,
+                             pack_dir=pack_dir)
+        frontend = ServingFrontend(
+            fleet, n_max=service.n_max, view_dims=service.view_dims,
+            view_names=("mobility", "poi", "landuse"), policy=_POLICY)
+        thread = FrontendThread(frontend).start()
+        try:
+            with thread.client() as client:
+                responses = run_once(
+                    benchmark, lambda: client.embed_many(make_trace()))
+                stats = client.stats()
+        finally:
+            thread.stop()
+
+        # Hard gates: warm path, bit-identical to in-process serving.
+        assert stats["fleet"]["record_epochs"] == 0, (
+            f"fleet paid {stats['fleet']['record_epochs']} record epochs "
+            f"on a warmed trace")
+        assert len(responses) == len(reference)
+        for got, want in zip(responses, reference):
+            assert got.embeddings.dtype == want.embeddings.dtype
+            assert np.array_equal(got.embeddings, want.embeddings), (
+                f"{got.name}: socket embeddings drifted from in-process")
+
+        latency = stats["latency"]
+        benchmark.extra_info["frontend"] = {
+            "served": stats["served"],
+            "regions": stats["regions"],
+            "regions_per_sec": stats["regions_per_sec"],
+            "latency": latency,
+            "record_epochs": stats["fleet"]["record_epochs"],
+        }
+        print(f"\nfrontend trace: {stats['served']} requests, "
+              f"{stats['regions_per_sec']:.0f} regions/s, "
+              f"p50 {latency['p50_latency'] * 1e3:.1f}ms, "
+              f"p99 {latency['p99_latency'] * 1e3:.1f}ms")

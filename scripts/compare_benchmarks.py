@@ -18,7 +18,11 @@ Two kinds of series are compared:
   compiled serving and scheduler reports) and every nested
   ``*regions_per_sec`` key (the serving scheduler's per-bucket and
   per-traffic-shape throughput) — flagged when the current value falls
-  below the baseline by more than the threshold.
+  below the baseline by more than the threshold;
+- **latency gauges** recorded in ``extra_info`` (lower is better) —
+  every nested ``p50_latency`` / ``p99_latency`` key (the serving
+  frontend's per-request percentiles) — flagged when the current value
+  *exceeds* the baseline by more than the threshold.
 
 The default exit code is 0 even with regressions (the nightly job
 *surfaces* them; shared-runner noise should not fail the build) —
@@ -40,6 +44,12 @@ DEFAULT_THRESHOLD = 0.2
 #: (matched by suffix: ``scheduler_regions_per_sec`` etc. count too).
 GAUGE_SUFFIXES = ("speedup", "regions_per_sec")
 
+#: extra_info keys treated as lower-is-better gauges: the frontend's
+#: request-latency percentiles (``latency.p50_latency`` etc. in the
+#: serving-frontend trace benchmark).  A current value *above* baseline
+#: by more than the threshold is the regression.
+LOWER_GAUGE_SUFFIXES = ("p50_latency", "p99_latency")
+
 
 def load_benchmarks(path: Path) -> dict[str, dict]:
     payload = json.loads(path.read_text())
@@ -51,16 +61,19 @@ def load_benchmarks(path: Path) -> dict[str, dict]:
     return out
 
 
-def iter_gauges(extra_info: dict, prefix: str = ""):
-    """Yield (dotted_path, value) for every numeric higher-is-better
-    gauge nested anywhere inside ``extra_info`` (see GAUGE_SUFFIXES)."""
+def iter_gauges(extra_info: dict, prefix: str = "", suffixes=GAUGE_SUFFIXES):
+    """Yield (dotted_path, value) for every numeric gauge nested anywhere
+    inside ``extra_info`` whose key matches ``suffixes`` (default: the
+    higher-is-better GAUGE_SUFFIXES; pass LOWER_GAUGE_SUFFIXES for the
+    latency percentiles)."""
     for key, value in sorted(extra_info.items()):
         path = f"{prefix}{key}"
         if isinstance(value, dict):
-            yield from iter_gauges(value, prefix=f"{path}.")
+            yield from iter_gauges(value, prefix=f"{path}.",
+                                   suffixes=suffixes)
         elif (isinstance(value, (int, float)) and not isinstance(value, bool)
                 and any(key == s or key.endswith(f"_{s}")
-                        for s in GAUGE_SUFFIXES)):
+                        for s in suffixes)):
             yield path, float(value)
 
 
@@ -98,6 +111,23 @@ def compare(baseline: dict[str, dict], current: dict[str, dict],
                     f"({ratio - 1.0:+.0%})")
             rows.append(f"| `{name}` | {path} | {old_v:.2f}x | "
                         f"{new_v:.2f}x | {ratio - 1.0:+.1%}{flag} |")
+        old_lat = dict(iter_gauges(old.get("extra_info", {}),
+                                   suffixes=LOWER_GAUGE_SUFFIXES))
+        new_lat = dict(iter_gauges(new.get("extra_info", {}),
+                                   suffixes=LOWER_GAUGE_SUFFIXES))
+        for path in sorted(set(old_lat) & set(new_lat)):
+            old_v, new_v = old_lat[path], new_lat[path]
+            if old_v <= 0:   # empty latency window reports 0.0
+                continue
+            ratio = new_v / old_v
+            flag = ""
+            if ratio > 1.0 + threshold:
+                flag = " :warning:"
+                regressions.append(
+                    f"`{name}` {path} {old_v * 1e3:.2f}ms -> "
+                    f"{new_v * 1e3:.2f}ms ({ratio - 1.0:+.0%})")
+            rows.append(f"| `{name}` | {path} | {old_v * 1e3:.2f}ms | "
+                        f"{new_v * 1e3:.2f}ms | {ratio - 1.0:+.1%}{flag} |")
     return rows, regressions
 
 

@@ -13,6 +13,15 @@ The production-facing API over everything the execution engine
   policy (:class:`FlushPolicy`);
 - :class:`WarmupPack` — deploy-time pre-recorded plan grids, so a fresh
   service performs zero record epochs on warmed shapes;
+- :class:`ServingFrontend` / :class:`FrontendClient` — the network
+  layer: an asyncio NDJSON socket server with admission control,
+  per-bucket backpressure (load shedding with a ``retry_after`` hint)
+  and p50/p99 latency accounting, dispatching scheduler co-batches to
+- :class:`ServingFleet` — N worker processes, each holding a resident
+  service warmed from a shared :class:`WarmupPack` (zero record epochs
+  on start, plan caches preserved across graceful restarts);
+- :class:`AdmissionError` — the typed submit-time rejection
+  (``oversize`` / ``view_mismatch`` / ``overload``);
 - :func:`serving_scheduler_report` — the throughput benchmark payload
   (uniform traffic vs the direct batched path, ragged traffic vs
   sequential serving).
@@ -24,26 +33,43 @@ deprecated shims over this package.
 """
 
 from .api import (
+    AdmissionError,
     EmbedRequest,
     EmbedResponse,
     EmbedTicket,
     FlushPolicy,
     default_bucket_edges,
+    request_from_wire,
+    request_to_wire,
+    response_from_wire,
+    response_to_wire,
 )
+from .fleet import FleetResult, ServingFleet
+from .frontend import FrontendClient, FrontendThread, ServingFrontend
 from .report import serving_scheduler_report
 from .scheduler import BucketKey, ShapeBucketScheduler
 from .service import EmbeddingService
 from .warmup import WarmupPack, default_shape_grid
 
 __all__ = [
+    "AdmissionError",
     "EmbedRequest",
     "EmbedResponse",
     "EmbedTicket",
     "FlushPolicy",
     "default_bucket_edges",
+    "request_from_wire",
+    "request_to_wire",
+    "response_from_wire",
+    "response_to_wire",
     "BucketKey",
     "ShapeBucketScheduler",
     "EmbeddingService",
+    "FleetResult",
+    "ServingFleet",
+    "FrontendClient",
+    "FrontendThread",
+    "ServingFrontend",
     "WarmupPack",
     "default_shape_grid",
     "serving_scheduler_report",

@@ -14,12 +14,23 @@ requests one flush fuses into a single ``(b, n, d)`` pass, and
 ``max_wait`` bounds how long a queued request may age before
 :meth:`~repro.serving.service.EmbeddingService.poll` flushes its bucket
 regardless of fill.
+
+:class:`AdmissionError` is the typed rejection every admission gate
+raises — oversize requests, view mismatches and (at the network
+frontend) load shedding — so callers and the wire protocol can
+distinguish "this request can never be served" from "retry later"
+(``retry_after``).
+
+The ``*_to_wire`` / ``*_from_wire`` functions are the JSON codecs of
+the newline-delimited socket protocol (:mod:`repro.serving.frontend`).
+Floats cross the wire via ``repr`` (shortest round-trip), so encoded
+matrices and embeddings survive the socket **bit-identically**.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Sequence
 
 import numpy as np
@@ -28,14 +39,45 @@ from ..data.city import SyntheticCity
 from ..data.features import ViewSet
 
 __all__ = [
+    "AdmissionError",
     "EmbedRequest",
     "EmbedResponse",
     "EmbedTicket",
     "FlushPolicy",
     "default_bucket_edges",
+    "request_from_wire",
+    "request_to_wire",
+    "response_from_wire",
+    "response_to_wire",
 ]
 
 _REQUEST_IDS = itertools.count(1)
+
+
+class AdmissionError(ValueError):
+    """A request rejected at an admission gate, before it was queued.
+
+    ``reason`` is a stable machine-readable tag:
+
+    - ``"oversize"`` — ``n_regions`` exceeds the service/frontend
+      capacity (or the scheduler's largest bucket edge); the request can
+      never be served by this deployment;
+    - ``"view_mismatch"`` — view names/widths incompatible with the
+      serving model;
+    - ``"overload"`` — the target bucket's queue is at its depth limit;
+      the request *would* be servable — retry after ``retry_after``
+      seconds (the load-shedding hint a frontend turns into a
+      ``Retry-After``-style field).
+
+    Subclasses :class:`ValueError` so pre-existing callers that caught
+    the untyped rejection keep working.
+    """
+
+    def __init__(self, message: str, *, reason: str = "invalid",
+                 retry_after: float | None = None):
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after = retry_after
 
 
 def default_bucket_edges(n_max: int) -> tuple[int, ...]:
@@ -154,19 +196,94 @@ class EmbedTicket:
     """Handle returned by :meth:`EmbeddingService.submit`; ``response``
     is filled when the scheduler flushes the request's bucket.
 
-    ``submitted_at`` is the *scheduling* clock (caller-injectable via
-    ``submit(now=...)`` for deterministic max-wait tests);
-    ``submitted_mono`` is always ``time.monotonic()`` and is what the
-    response's ``wait_seconds`` provenance is measured against, so an
-    injected scheduling clock never corrupts the wait accounting.
+    ``submitted_at`` is the service clock (``time.monotonic`` unless the
+    service was built with an injected ``clock=``, and caller-overridable
+    per call via ``submit(now=...)``).  Age-based flush decisions *and*
+    the response's ``wait_seconds`` provenance are both measured on this
+    one clock, so a test or replay harness that injects time sees
+    consistent waits instead of a mix of fake and real clocks.
     """
 
     request: EmbedRequest
     bucket_id: str
     submitted_at: float
     response: EmbedResponse | None = None
-    submitted_mono: float = 0.0
 
     @property
     def done(self) -> bool:
         return self.response is not None
+
+
+# ----------------------------------------------------------------------
+# Wire codecs (the NDJSON socket protocol's payload layer)
+# ----------------------------------------------------------------------
+
+def _matrix_to_wire(matrix: np.ndarray) -> list:
+    # json.dumps renders floats with repr (shortest round-trip), so the
+    # nested-list form is lossless for every finite float64.
+    return np.asarray(matrix, dtype=np.float64).tolist()
+
+
+def request_to_wire(request: EmbedRequest) -> dict:
+    """Encode a request for the socket protocol (``op: "embed"``).
+
+    Only the serving-relevant fields travel: normalized view matrices,
+    dtype, region subset and name.  ``raw`` count matrices are a
+    training-loss input and never cross the serving wire.
+    """
+    return {
+        "op": "embed",
+        "name": request.name,
+        "dtype": str(request.dtype) if request.dtype is not None else None,
+        "region_subset": request.region_subset,
+        "views": {
+            "names": list(request.views.names),
+            "matrices": [_matrix_to_wire(m) for m in request.views.matrices],
+        },
+    }
+
+
+def request_from_wire(payload: dict) -> EmbedRequest:
+    """Decode an ``op: "embed"`` payload back into an :class:`EmbedRequest`.
+
+    Malformed payloads raise :class:`AdmissionError` (``reason
+    "bad_request"``) so a frontend can answer with a typed rejection
+    instead of a stack trace.
+    """
+    try:
+        views_payload = payload["views"]
+        views = ViewSet(
+            names=tuple(views_payload["names"]),
+            matrices=[np.asarray(m, dtype=np.float64)
+                      for m in views_payload["matrices"]])
+        return EmbedRequest(views, dtype=payload.get("dtype"),
+                            region_subset=payload.get("region_subset"),
+                            name=payload.get("name", ""))
+    except AdmissionError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise AdmissionError(f"malformed embed payload: {exc}",
+                             reason="bad_request") from exc
+
+
+def response_to_wire(response: EmbedResponse) -> dict:
+    """Encode a served response (``ok: true``) for the socket protocol."""
+    wire = asdict(response)
+    wire["ok"] = True
+    # Shape travels explicitly: an empty region subset would otherwise
+    # lose its (0, d) embedding width in the nested-list form.
+    wire["shape"] = list(response.embeddings.shape)
+    wire["dtype"] = str(response.embeddings.dtype)
+    wire["embeddings"] = _matrix_to_wire(response.embeddings)
+    return wire
+
+
+def response_from_wire(payload: dict) -> EmbedResponse:
+    """Decode an ``ok: true`` payload back into an :class:`EmbedResponse`."""
+    fields = {k: payload[k] for k in (
+        "request_id", "name", "bucket_id", "n_regions", "batch_size",
+        "padded", "padding_waste", "plan_event", "wait_seconds",
+        "compute_seconds")}
+    embeddings = np.asarray(payload["embeddings"], dtype=np.float64).reshape(
+        payload["shape"]).astype(payload["dtype"], copy=False)
+    return EmbedResponse(embeddings=embeddings, **fields)

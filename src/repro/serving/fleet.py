@@ -1,0 +1,255 @@
+"""Multi-process serving fleet: N resident :class:`EmbeddingService`\\ s.
+
+One :class:`ServingFleet` owns ``n_workers`` OS processes.  Each worker
+builds its own service from a picklable ``builder`` callable, attaches
+the shared :class:`~repro.serving.warmup.WarmupPack` (when given) so it
+performs **zero record epochs** on start, then loops on a shared task
+queue: take one dispatched batch (a list of
+:class:`~repro.serving.api.EmbedRequest`\\ s that the frontend's
+shape-bucket scheduler already grouped), run it through the resident
+service, and push the :class:`~repro.serving.api.EmbedResponse`\\ s back
+on the result queue.
+
+Design notes
+------------
+
+- **The frontend batches, the workers execute.**  A dispatched group is
+  exactly one scheduler bucket's ``take()`` — every request in it shares
+  a bucket in the worker's own scheduler too (same
+  :class:`~repro.serving.api.FlushPolicy`), so ``service.run`` serves
+  the group as the *same single* ``(b, n, d)`` pass an in-process
+  service would have used.  That is what makes fleet responses
+  bit-identical to :meth:`EmbeddingService.run` on the same trace.
+- **The shared task queue load-balances.**  Any idle worker picks up
+  the next batch; there is no per-worker routing state to rebalance.
+- **Plan caches live on disk and survive restarts.**  Workers point
+  their plan cache at ``pack_dir``; anything they record beyond the
+  warmed grid is persisted there, so :meth:`restart` (and a full
+  process bounce) starts the next fleet just as warm.
+- Every result carries the worker's cumulative
+  :data:`~repro.nn.RECORD_STATS` total, so a frontend can *prove* the
+  fleet never paid a record epoch (the ``serving-smoke`` CI assertion).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from .api import EmbedRequest, EmbedResponse
+
+__all__ = ["FleetResult", "ServingFleet"]
+
+#: batch_id of the handshake result each worker sends once its resident
+#: service is built (and warmed) — before any traffic is accepted.
+READY = -1
+
+
+@dataclass
+class FleetResult:
+    """One message on the fleet's result queue.
+
+    ``batch_id == READY`` is the start-up handshake; otherwise it echoes
+    the id passed to :meth:`ServingFleet.submit`.  ``responses`` is
+    ``None`` iff the worker failed (``error`` then carries the
+    traceback).  ``record_epochs`` is the worker's cumulative record
+    count — 0 forever on a properly warmed fleet.
+    """
+
+    batch_id: int
+    worker_id: int
+    responses: list[EmbedResponse] | None = None
+    error: str | None = None
+    record_epochs: int = 0
+
+
+def _worker_main(worker_id: int, builder: Callable, builder_args: tuple,
+                 pack_dir, task_queue, result_queue) -> None:
+    """Worker process entry point: build, warm, handshake, serve."""
+    from ..nn import RECORD_STATS
+    from .warmup import WarmupPack
+    try:
+        service = builder(*builder_args)
+        if pack_dir is not None:
+            WarmupPack.load(pack_dir).attach(service)
+        # Building the model is not serving: only record epochs paid for
+        # *traffic* count against the warm path.
+        RECORD_STATS.reset()
+    except Exception:
+        result_queue.put(FleetResult(READY, worker_id,
+                                     error=traceback.format_exc()))
+        return
+    result_queue.put(FleetResult(READY, worker_id))
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        batch_id, requests = task
+        try:
+            responses = service.run(requests)
+            result_queue.put(FleetResult(batch_id, worker_id,
+                                         responses=responses,
+                                         record_epochs=RECORD_STATS.total))
+        except Exception:
+            result_queue.put(FleetResult(batch_id, worker_id,
+                                         error=traceback.format_exc(),
+                                         record_epochs=RECORD_STATS.total))
+
+
+class ServingFleet:
+    """A pool of worker processes, each holding one resident service.
+
+    Parameters
+    ----------
+    builder:
+        Zero-side-effect callable returning a fresh
+        :class:`EmbeddingService`; runs inside each worker process.
+        Must be picklable under the chosen start method (a module-level
+        function; ``fork`` also accepts closures).
+    builder_args:
+        Positional arguments for ``builder``.
+    n_workers:
+        Fleet size.
+    pack_dir:
+        Shared :class:`WarmupPack` directory each worker attaches on
+        start (also becomes the workers' persistent plan-cache
+        directory).  ``None`` skips warm-up — workers then pay record
+        epochs for every cold shape.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (fast start, closure-friendly) and ``spawn``
+        elsewhere.
+    """
+
+    def __init__(self, builder: Callable, builder_args: Sequence = (), *,
+                 n_workers: int = 2, pack_dir=None,
+                 start_method: str | None = None):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.builder = builder
+        self.builder_args = tuple(builder_args)
+        self.n_workers = n_workers
+        self.pack_dir = Path(pack_dir) if pack_dir is not None else None
+        if start_method is None:
+            start_method = ("fork" if "fork" in mp.get_all_start_methods()
+                            else "spawn")
+        self._ctx = mp.get_context(start_method)
+        self._processes: list = []
+        self._task_queue = None
+        self._result_queue = None
+        #: Latest cumulative record-epoch count seen per worker id.
+        self.record_epochs: dict[int, int] = {}
+        self.dispatched = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return bool(self._processes)
+
+    def alive(self) -> list[bool]:
+        return [p.is_alive() for p in self._processes]
+
+    def start(self, timeout: float = 120.0) -> None:
+        """Spawn the workers and block until every one handshakes ready
+        (i.e. its resident service is built and warmed)."""
+        if self.started:
+            raise RuntimeError("fleet already started")
+        self._task_queue = self._ctx.Queue()
+        self._result_queue = self._ctx.Queue()
+        self.record_epochs = {}
+        for worker_id in range(self.n_workers):
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(worker_id, self.builder, self.builder_args,
+                      self.pack_dir, self._task_queue, self._result_queue),
+                daemon=True,
+                name=f"repro-serving-worker-{worker_id}")
+            process.start()
+            self._processes.append(process)
+        ready = 0
+        while ready < self.n_workers:
+            try:
+                result = self._result_queue.get(timeout=timeout)
+            except queue_mod.Empty:
+                self.stop(graceful=False)
+                raise TimeoutError(
+                    f"only {ready}/{self.n_workers} workers became ready "
+                    f"within {timeout}s") from None
+            if result.batch_id != READY:   # pragma: no cover - defensive
+                continue
+            if result.error is not None:
+                self.stop(graceful=False)
+                raise RuntimeError(
+                    f"worker {result.worker_id} failed to start:\n"
+                    f"{result.error}")
+            self.record_epochs[result.worker_id] = result.record_epochs
+            ready += 1
+
+    def submit(self, batch_id: int, requests: list[EmbedRequest]) -> None:
+        """Queue one scheduler-grouped batch for the next idle worker."""
+        if not self.started:
+            raise RuntimeError("fleet not started")
+        self._task_queue.put((batch_id, list(requests)))
+        self.dispatched += 1
+
+    def next_result(self, timeout: float | None = None) -> FleetResult:
+        """Block for the next finished batch (``queue.Empty`` on
+        timeout).  Updates :attr:`record_epochs` as a side effect."""
+        result = self._result_queue.get(timeout=timeout)
+        self.record_epochs[result.worker_id] = result.record_epochs
+        return result
+
+    def total_record_epochs(self) -> int:
+        """Record epochs paid across the fleet since start — the number
+        the warm-path smoke asserts is zero."""
+        return sum(self.record_epochs.values())
+
+    # ------------------------------------------------------------------
+    def stop(self, graceful: bool = True, timeout: float = 10.0) -> None:
+        """Shut the workers down.
+
+        ``graceful`` sends one sentinel per worker so each finishes its
+        in-flight batch first; stragglers (and ``graceful=False``) are
+        terminated.  The on-disk plan cache under ``pack_dir`` is
+        untouched either way — that is the restart-preserving contract.
+        """
+        if not self.started:
+            return
+        if graceful:
+            for _ in self._processes:
+                try:
+                    self._task_queue.put(None)
+                except (ValueError, OSError):   # pragma: no cover
+                    break
+        for process in self._processes:
+            process.join(timeout=timeout if graceful else 0.1)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=timeout)
+        for q in (self._task_queue, self._result_queue):
+            if q is not None:
+                q.close()
+                q.cancel_join_thread()
+        self._processes = []
+        self._task_queue = None
+        self._result_queue = None
+
+    def restart(self, timeout: float = 120.0) -> None:
+        """Graceful stop + fresh start.  With a ``pack_dir`` the new
+        workers re-attach the on-disk plan cache and come up just as
+        warm — zero record epochs across the bounce."""
+        self.stop(graceful=True)
+        self.start(timeout=timeout)
+
+    def __enter__(self) -> "ServingFleet":
+        if not self.started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop(graceful=True)

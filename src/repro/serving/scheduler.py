@@ -34,7 +34,13 @@ from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass, field
 
-from .api import EmbedTicket, FlushPolicy, default_bucket_edges
+from .api import (
+    AdmissionError,
+    EmbedRequest,
+    EmbedTicket,
+    FlushPolicy,
+    default_bucket_edges,
+)
 
 __all__ = ["BucketKey", "BucketQueue", "ShapeBucketScheduler"]
 
@@ -91,20 +97,37 @@ class ShapeBucketScheduler:
     # ------------------------------------------------------------------
     def bucket_edge(self, n_regions: int) -> int:
         """Smallest edge ≥ ``n_regions``; a request *exactly at* an edge
-        belongs to that edge's bucket (no off-by-one promotion)."""
+        belongs to that edge's bucket (no off-by-one promotion).
+
+        Out-of-range sizes raise a typed :class:`AdmissionError`
+        (reason ``"oversize"``) so the rejection happens at submit time,
+        before the request is queued — never mid-flush.
+        """
         if n_regions < 1:
-            raise ValueError(f"n_regions must be >= 1, got {n_regions}")
+            raise AdmissionError(
+                f"n_regions must be >= 1, got {n_regions}", reason="oversize")
         if n_regions > self.edges[-1]:
-            raise ValueError(f"request with n={n_regions} exceeds the "
-                             f"largest bucket edge {self.edges[-1]}")
+            raise AdmissionError(
+                f"request with n={n_regions} exceeds the largest bucket "
+                f"edge {self.edges[-1]}", reason="oversize")
         return self.edges[bisect_left(self.edges, n_regions)]
 
-    def key_for(self, ticket: EmbedTicket) -> BucketKey:
-        request = ticket.request
+    def key_for_request(self, request: EmbedRequest) -> BucketKey:
+        """The bucket a request would land in — usable before a ticket
+        exists (the admission-control path needs the key to read queue
+        depth without enqueueing)."""
         return BucketKey(self.bucket_edge(request.n_regions),
                          tuple(request.views.dims()),
                          str(request.dtype) if request.dtype is not None
                          else self.default_dtype)
+
+    def key_for(self, ticket: EmbedTicket) -> BucketKey:
+        return self.key_for_request(ticket.request)
+
+    def depth(self, key: BucketKey) -> int:
+        """Queued tickets in one bucket (0 for an unknown key)."""
+        queue = self._queues.get(key)
+        return len(queue.tickets) if queue is not None else 0
 
     # ------------------------------------------------------------------
     def enqueue(self, ticket: EmbedTicket) -> BucketKey:

@@ -33,7 +33,8 @@ one ``EmbeddingService`` alive across requests.
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from collections import deque
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -42,7 +43,13 @@ from ..core.model import HAFusion
 from ..nn import Tensor, get_default_dtype, no_grad
 from ..nn.compile import InferencePlan, record_forward
 from ..nn.plancache import PlanCache, default_plan_cache, inference_plan_key
-from .api import EmbedRequest, EmbedResponse, EmbedTicket, FlushPolicy
+from .api import (
+    AdmissionError,
+    EmbedRequest,
+    EmbedResponse,
+    EmbedTicket,
+    FlushPolicy,
+)
 from .scheduler import BucketKey, ShapeBucketScheduler
 
 __all__ = ["EmbeddingService"]
@@ -115,13 +122,36 @@ class EmbeddingService:
         specs on disk when ``REPRO_PLAN_CACHE_DIR`` is set.
     policy:
         :class:`FlushPolicy` for the shape-bucket scheduler.
+    clock:
+        The service's monotonic time source (default
+        ``time.monotonic``).  *One* clock drives everything time-shaped
+        — ticket ``submitted_at``, age-based flush decisions and the
+        responses' ``wait_seconds`` provenance — so tests and replay
+        harnesses can inject a deterministic clock (or pass ``now=`` per
+        call) without the wait accounting silently falling back to the
+        real clock.
+    flush_log_cap:
+        Retained :attr:`flush_log` entries (a bounded deque; the
+        oldest entries are dropped under sustained traffic and counted
+        in ``stats()["flush_log_dropped"]``).
+    max_tracked_buckets:
+        Distinct bucket ids with individual ``stats()`` counters;
+        traffic beyond the cap is rolled into an ``"(overflow)"``
+        bucket so adversarial dtype/shape churn cannot grow the stats
+        map without bound.
     """
+
+    #: Rollup bucket id for per-bucket stats beyond ``max_tracked_buckets``.
+    OVERFLOW_BUCKET = "(overflow)"
 
     def __init__(self, model: HAFusion, *, n_max: int | None = None,
                  view_dims: Sequence[int] | None = None,
                  view_names: Sequence[str] | None = None,
                  compiled: bool = True, plan_cache: PlanCache | None = None,
-                 policy: FlushPolicy | None = None):
+                 policy: FlushPolicy | None = None,
+                 clock: Callable[[], float] | None = None,
+                 flush_log_cap: int = 1024,
+                 max_tracked_buckets: int = 64):
         inferred_n, inferred_dims = _infer_capacity(model)
         self.model = model
         self.n_max = int(n_max) if n_max is not None else inferred_n
@@ -132,15 +162,26 @@ class EmbeddingService:
         self.plan_cache = (plan_cache if plan_cache is not None
                            else default_plan_cache())
         self.policy = policy if policy is not None else FlushPolicy()
+        self.clock = clock if clock is not None else time.monotonic
+        if flush_log_cap < 1:
+            raise ValueError(f"flush_log_cap must be >= 1, "
+                             f"got {flush_log_cap}")
+        if max_tracked_buckets < 1:
+            raise ValueError(f"max_tracked_buckets must be >= 1, "
+                             f"got {max_tracked_buckets}")
+        self.max_tracked_buckets = max_tracked_buckets
         self._scheduler: ShapeBucketScheduler | None = None
         self._bucket_stats: dict[str, _BucketStats] = {}
+        self._overflow_flushes = 0
         self._submitted = 0
         self._answered = 0
         #: One entry per scheduler flush (bucket id, batch size, per-row
-        #: region counts, plan event) — the exact compositions served,
-        #: which is what :meth:`WarmupPack.build` snapshots from a
-        #: traffic sample.
-        self.flush_log: list[dict] = []
+        #: region counts, plan event, monotone ``seq``) — the exact
+        #: compositions served, which is what :meth:`WarmupPack.build`
+        #: snapshots from a traffic sample.  Bounded: the oldest entries
+        #: fall off after ``flush_log_cap`` flushes.
+        self.flush_log: deque[dict] = deque(maxlen=flush_log_cap)
+        self._flush_seq = 0
 
     @classmethod
     def build(cls, cities, config: HAFusionConfig | None = None,
@@ -213,12 +254,41 @@ class EmbeddingService:
 
     @staticmethod
     def _crop(h: np.ndarray, batch) -> list[np.ndarray]:
-        return [h[i, :n].copy() for i, n in enumerate(batch.n_regions)]
+        """Per-city **views** into the batch output.
+
+        On the compiled path ``h`` is the resident
+        :class:`InferencePlan`'s output buffer, silently overwritten by
+        the next replay — so every egress point (:meth:`embed_batch`,
+        :meth:`_flush_bucket`) must detach with exactly one copy before
+        an array leaves the service.  Cropping lazily keeps that copy
+        single: a dtype-converting or region-subset egress pays only its
+        own copy, never a second one here.
+        """
+        return [h[i, :n] for i, n in enumerate(batch.n_regions)]
+
+    @staticmethod
+    def _detach(h: np.ndarray, request: EmbedRequest) -> np.ndarray:
+        """Detach one response from the plan-owned batch output.
+
+        Applies the request's region subset and dtype with exactly one
+        copy, and **never** returns a view into the resident plan's
+        output buffer — ``astype(..., copy=False)`` here was the
+        aliasing trap: a same-dtype request would have handed the caller
+        a window the next replay overwrites.
+        """
+        owned = False
+        if request.region_subset is not None:
+            h = h[request.region_subset]          # fancy indexing copies
+            owned = True
+        if request.dtype is not None and h.dtype != request.dtype:
+            h = h.astype(request.dtype)           # dtype change copies
+            owned = True
+        return h if owned else h.copy()
 
     def embed_batch(self, batch, compiled: bool | None = None) -> list[np.ndarray]:
         """Embed a prebuilt :class:`CityBatch` in one vectorized pass,
         cropped back to each city's real region count."""
-        return self._run_batch(batch, compiled)[0]
+        return [h.copy() for h in self._run_batch(batch, compiled)[0]]
 
     def embed_each(self, batch, compiled: bool | None = None) -> list[np.ndarray]:
         """Per-city loop over the identical model — the parity/baseline
@@ -273,15 +343,16 @@ class EmbeddingService:
 
     def _check_request(self, request: EmbedRequest) -> None:
         if request.n_regions > self.n_max:
-            raise ValueError(
+            raise AdmissionError(
                 f"request {request.name!r} has {request.n_regions} regions; "
-                f"this service is built for n_max={self.n_max}")
+                f"this service is built for n_max={self.n_max}",
+                reason="oversize")
         dims = request.views.dims()
         if len(dims) != len(self.view_dims) or any(
                 d > cap for d, cap in zip(dims, self.view_dims)):
-            raise ValueError(
+            raise AdmissionError(
                 f"request view widths {dims} incompatible with the service "
-                f"model's {self.view_dims}")
+                f"model's {self.view_dims}", reason="view_mismatch")
         if self.view_names is None:
             # A service built straight from a model doesn't know its view
             # names; the first request fixes them, so a later request
@@ -290,9 +361,9 @@ class EmbeddingService:
             # were already popped).
             self.view_names = request.views.names
         if request.views.names != self.view_names:
-            raise ValueError(
+            raise AdmissionError(
                 f"request views {request.views.names} != service views "
-                f"{self.view_names}")
+                f"{self.view_names}", reason="view_mismatch")
 
     def submit(self, request: EmbedRequest,
                now: float | None = None) -> EmbedTicket:
@@ -300,36 +371,40 @@ class EmbeddingService:
 
         The returned ticket's ``response`` fills when its bucket
         flushes; call :meth:`flush` to force everything through.
+        Inadmissible requests raise :class:`AdmissionError` here, before
+        anything is queued — the queues stay clean.
         """
         scheduler = self._require_scheduler()
         self._check_request(request)
-        now = time.monotonic() if now is None else now
-        ticket = EmbedTicket(request, "", now,
-                             submitted_mono=time.monotonic())
+        now = self.clock() if now is None else now
+        ticket = EmbedTicket(request, "", now)
+        # enqueue() computes the bucket key before touching its queue, so
+        # an out-of-range size raises here — never mid-flush.
         key = scheduler.enqueue(ticket)
         ticket.bucket_id = key.bucket_id
         self._submitted += 1
         for full in scheduler.full_buckets():
-            self._flush_bucket(full)
+            self._flush_bucket(full, now)
         self.poll(now)
         return ticket
 
     def poll(self, now: float | None = None) -> list[EmbedResponse]:
         """Flush buckets whose oldest request has aged past ``max_wait``."""
         scheduler = self._require_scheduler()
-        now = time.monotonic() if now is None else now
+        now = self.clock() if now is None else now
         responses: list[EmbedResponse] = []
         for key in scheduler.overdue_buckets(now):
-            responses.extend(self._flush_bucket(key))
+            responses.extend(self._flush_bucket(key, now))
         return responses
 
-    def flush(self) -> list[EmbedResponse]:
+    def flush(self, now: float | None = None) -> list[EmbedResponse]:
         """Drain every bucket (an empty queue is a no-op)."""
         scheduler = self._require_scheduler()
+        now = self.clock() if now is None else now
         responses: list[EmbedResponse] = []
         for key in scheduler.nonempty_buckets():
             while True:
-                flushed = self._flush_bucket(key)
+                flushed = self._flush_bucket(key, now)
                 if not flushed:
                     break
                 responses.extend(flushed)
@@ -342,13 +417,16 @@ class EmbeddingService:
         self.flush()
         return [t.response for t in tickets]
 
-    def _flush_bucket(self, key: BucketKey) -> list[EmbedResponse]:
+    def _flush_bucket(self, key: BucketKey,
+                      now: float | None = None) -> list[EmbedResponse]:
         from ..core.engine import make_batch
         scheduler = self._require_scheduler()
         tickets = scheduler.take(key)
         if not tickets:
             return []
-        flushed_at = time.monotonic()
+        # Same clock the tickets were stamped on (injectable), so
+        # wait_seconds stays truthful when tests/replays drive time.
+        flushed_at = self.clock() if now is None else now
         try:
             batch = make_batch([t.request.views for t in tickets],
                                n_max=self.n_max, view_dims=self.view_dims)
@@ -365,10 +443,17 @@ class EmbeddingService:
         real = sum(batch.n_regions)
         slots = b * self.n_max
         waste = 1.0 - real / slots
-        self.flush_log.append({"bucket_id": key.bucket_id, "batch_size": b,
+        self._flush_seq += 1
+        self.flush_log.append({"seq": self._flush_seq,
+                               "bucket_id": key.bucket_id, "batch_size": b,
                                "n_regions": list(batch.n_regions),
                                "plan_event": event})
-        stats = self._bucket_stats.setdefault(key.bucket_id, _BucketStats())
+        bucket_id = key.bucket_id
+        if (bucket_id not in self._bucket_stats
+                and len(self._bucket_stats) >= self.max_tracked_buckets):
+            bucket_id = self.OVERFLOW_BUCKET
+            self._overflow_flushes += 1
+        stats = self._bucket_stats.setdefault(bucket_id, _BucketStats())
         stats.requests += b
         stats.batches += 1
         stats.regions += real
@@ -379,17 +464,13 @@ class EmbeddingService:
         responses = []
         for ticket, h in zip(tickets, embeddings):
             request = ticket.request
-            if request.region_subset is not None:
-                h = h[request.region_subset]
-            if request.dtype is not None:
-                h = h.astype(request.dtype, copy=False)
             ticket.response = EmbedResponse(
                 request_id=request.request_id, name=request.name,
-                embeddings=h, bucket_id=key.bucket_id,
+                embeddings=self._detach(h, request), bucket_id=key.bucket_id,
                 n_regions=request.n_regions, batch_size=b,
                 padded=batch.is_padded, padding_waste=waste,
                 plan_event=event,
-                wait_seconds=max(0.0, flushed_at - ticket.submitted_mono),
+                wait_seconds=max(0.0, flushed_at - ticket.submitted_at),
                 compute_seconds=seconds)
             responses.append(ticket.response)
         self._answered += b
@@ -436,6 +517,14 @@ class EmbeddingService:
     def pending(self) -> int:
         return self._scheduler.pending if self._scheduler is not None else 0
 
+    @property
+    def flush_seq(self) -> int:
+        """Total flushes ever performed (monotone; unlike
+        ``len(flush_log)`` it never shrinks when the bounded log drops
+        old entries — mark-and-replay consumers filter on the entries'
+        ``seq`` field against this)."""
+        return self._flush_seq
+
     def stats(self) -> dict:
         """Serving report: per-bucket throughput and padding overhead,
         plan-cache hit rates, resident-plan replay counts."""
@@ -456,6 +545,9 @@ class EmbeddingService:
             "seconds": seconds,
             "regions_per_sec": regions / seconds if seconds > 0 else 0.0,
             "buckets": buckets,
+            "flushes": self._flush_seq,
+            "flush_log_dropped": self._flush_seq - len(self.flush_log),
+            "bucket_stats_overflow_flushes": self._overflow_flushes,
             "plan_cache": self.plan_cache.stats(),
             "resident_plans": self.plan_cache.resident_report(),
         }

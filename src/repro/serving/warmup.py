@@ -102,11 +102,14 @@ class WarmupPack:
             shapes.append({"batch_size": int(batch_size), "n_regions": rows,
                            "bucket_id": bucket_id})
         if traffic is not None:
-            mark = len(service.flush_log)
+            mark = service.flush_seq
             service.run([EmbedRequest(vs) for vs in traffic])
             # The flush log holds the exact co-batch compositions the
             # traffic produced — each one a valid service.warm() shape.
-            for flush in service.flush_log[mark:]:
+            # Filtered by seq (not position): the log is a bounded deque
+            # whose older entries may have been evicted.
+            for flush in (f for f in service.flush_log
+                          if f["seq"] > mark):
                 shape = {"batch_size": flush["batch_size"],
                          "n_regions": list(flush["n_regions"]),
                          "bucket_id": flush["bucket_id"],

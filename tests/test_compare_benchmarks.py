@@ -56,6 +56,19 @@ class TestIterGauges:
         assert dict(compare_benchmarks.iter_gauges(
             {"padded": True, "seconds": 1.0, "speedup_note": 3.0})) == {}
 
+    def test_latency_suffixes_are_a_separate_family(self):
+        extra = {"frontend": {"latency": {"p50_latency": 0.002,
+                                          "p99_latency": 0.009,
+                                          "mean_seconds": 0.003},
+                              "regions_per_sec": 5000.0}}
+        lower = dict(compare_benchmarks.iter_gauges(
+            extra, suffixes=compare_benchmarks.LOWER_GAUGE_SUFFIXES))
+        assert lower == {"frontend.latency.p50_latency": 0.002,
+                         "frontend.latency.p99_latency": 0.009}
+        # The default (higher-is-better) walk must not pick them up.
+        assert dict(compare_benchmarks.iter_gauges(extra)) == {
+            "frontend.regions_per_sec": 5000.0}
+
 
 class TestRegressionDetector:
     def test_wall_clock_regression_beyond_20_percent_flagged(self):
@@ -91,6 +104,35 @@ class TestRegressionDetector:
             threshold=0.2)
         assert len(regressions) == 1
         assert bucket in regressions[0]
+
+    def test_latency_increase_beyond_threshold_flagged(self):
+        old = payload(1.0, {"latency": {"p99_latency": 0.010}})
+        new = payload(1.0, {"latency": {"p99_latency": 0.015}})
+        rows, regressions = compare_benchmarks.compare(
+            {"b": old["benchmarks"][0]}, {"b": new["benchmarks"][0]},
+            threshold=0.2)
+        assert len(regressions) == 1
+        assert "latency.p99_latency" in regressions[0]
+        assert "10.00ms -> 15.00ms" in regressions[0]
+
+    def test_latency_decrease_is_an_improvement(self):
+        old = payload(1.0, {"latency": {"p50_latency": 0.010,
+                                        "p99_latency": 0.020}})
+        new = payload(1.0, {"latency": {"p50_latency": 0.004,
+                                        "p99_latency": 0.008}})
+        rows, regressions = compare_benchmarks.compare(
+            {"b": old["benchmarks"][0]}, {"b": new["benchmarks"][0]},
+            threshold=0.2)
+        assert regressions == []
+        assert any("p50_latency" in r for r in rows)
+
+    def test_zero_latency_baseline_skipped(self):
+        old = payload(1.0, {"latency": {"p99_latency": 0.0}})
+        new = payload(1.0, {"latency": {"p99_latency": 0.5}})
+        rows, regressions = compare_benchmarks.compare(
+            {"b": old["benchmarks"][0]}, {"b": new["benchmarks"][0]},
+            threshold=0.2)
+        assert regressions == []
 
     def test_gauge_improvement_not_flagged(self):
         old = payload(1.0, {"speedup": 2.0})["benchmarks"][0]
