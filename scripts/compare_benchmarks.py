@@ -27,6 +27,15 @@ Two kinds of series are compared:
 The default exit code is 0 even with regressions (the nightly job
 *surfaces* them; shared-runner noise should not fail the build) —
 ``--fail-on-regression`` flips that for stricter environments.
+
+A missing baseline file is handled explicitly instead of silently
+skipping the comparison: the script falls back to the in-repo seed
+baseline (``benchmarks/baselines/benchmark-seed.json``, committed so a
+fresh clone's first nightly has something to diff against) and says so
+in the summary; with no seed baseline either, it emits a "no baseline"
+summary that still lists the current run's gauges.  Either way the
+summary ends with the top-5 hottest kernels recorded by
+``Plan.profile()`` in the current run's ``extra_info``.
 """
 
 from __future__ import annotations
@@ -37,6 +46,11 @@ import sys
 from pathlib import Path
 
 DEFAULT_THRESHOLD = 0.2
+
+#: Committed seed baseline a fresh clone's first nightly diffs against
+#: (relative to the repository root, i.e. this script's parent's parent).
+SEED_BASELINE = Path(__file__).resolve().parent.parent / "benchmarks" \
+    / "baselines" / "benchmark-seed.json"
 
 #: extra_info keys treated as higher-is-better gauges. ``speedup`` are
 #: the engine/compiled/serving ratios; ``regions_per_sec`` covers the
@@ -131,6 +145,60 @@ def compare(baseline: dict[str, dict], current: dict[str, dict],
     return rows, regressions
 
 
+def iter_top_kernels(extra_info: dict, prefix: str = ""):
+    """Yield (dotted_path, top_kernels_list) for every ``top_kernels``
+    entry nested inside ``extra_info`` (recorded by ``Plan.profile()``)."""
+    for key, value in sorted(extra_info.items()):
+        path = f"{prefix}{key}"
+        if key == "top_kernels" and isinstance(value, list):
+            yield path, value
+        elif isinstance(value, dict):
+            yield from iter_top_kernels(value, prefix=f"{path}.")
+
+
+def print_top_kernels(current: dict[str, dict]) -> None:
+    """Append the current run's hottest replay kernels to the summary."""
+    sections = []
+    for name in sorted(current):
+        for path, kernels in iter_top_kernels(
+                current[name].get("extra_info", {})):
+            rows = [k for k in kernels
+                    if isinstance(k, dict) and "kernel" in k and "seconds" in k]
+            if rows:
+                sections.append((name, path, rows[:5]))
+    if not sections:
+        return
+    print()
+    print("### Hottest replay kernels (current run)")
+    print()
+    print("| benchmark | kernel | seconds/replay | bytes |")
+    print("| --- | --- | --- | --- |")
+    for name, path, rows in sections:
+        for k in rows:
+            print(f"| `{name}` | `{k['kernel']}` | {k['seconds']:.4f}s | "
+                  f"{int(k.get('bytes', 0)):,} |")
+
+
+def print_no_baseline_summary(current: dict[str, dict],
+                              reason: str) -> None:
+    """Explicit summary for a run with nothing to diff against — the
+    current gauges are still surfaced so the night is not silent."""
+    print("## Nightly benchmark comparison")
+    print()
+    print(f"**No baseline** — {reason}. Current-run gauges:")
+    print()
+    print("| benchmark | metric | current |")
+    print("| --- | --- | --- |")
+    for name in sorted(current):
+        extra = current[name].get("extra_info", {})
+        for path, value in iter_gauges(extra):
+            print(f"| `{name}` | {path} | {value:.2f}x |")
+        for path, value in iter_gauges(extra,
+                                       suffixes=LOWER_GAUGE_SUFFIXES):
+            print(f"| `{name}` | {path} | {value * 1e3:.2f}ms |")
+    print_top_kernels(current)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", type=Path)
@@ -140,16 +208,35 @@ def main(argv: list[str] | None = None) -> int:
                              f"(default {DEFAULT_THRESHOLD:.0%})")
     parser.add_argument("--fail-on-regression", action="store_true",
                         help="exit 1 when any regression is detected")
+    parser.add_argument("--seed-baseline", type=Path, default=SEED_BASELINE,
+                        help="fallback baseline when the primary one is "
+                             "missing (default: the committed seed baseline)")
     args = parser.parse_args(argv)
 
-    baseline = load_benchmarks(args.baseline)
     current = load_benchmarks(args.current)
+    baseline_path, fallback = args.baseline, False
+    if not baseline_path.is_file() and args.seed_baseline.is_file():
+        baseline_path, fallback = args.seed_baseline, True
+    if not baseline_path.is_file():
+        print_no_baseline_summary(
+            current, "no previous nightly artifact and no committed seed "
+            f"baseline at `{args.seed_baseline}`")
+        return 0
+
+    baseline = load_benchmarks(baseline_path)
     rows, regressions = compare(baseline, current, args.threshold)
 
     print("## Nightly benchmark comparison")
     print()
+    if fallback:
+        print(f"No previous nightly artifact — comparing against the "
+              f"committed seed baseline (`{baseline_path.name}`). Seed "
+              f"numbers come from a different machine, so treat deltas "
+              f"as orientation, not regressions.")
+        print()
     if not rows:
         print("No overlapping benchmarks between baseline and current run.")
+        print_top_kernels(current)
         return 0
     if regressions:
         print(f"**{len(regressions)} regression(s) beyond "
@@ -164,6 +251,7 @@ def main(argv: list[str] | None = None) -> int:
     print("| --- | --- | --- | --- | --- |")
     for row in rows:
         print(row)
+    print_top_kernels(current)
     if regressions and args.fail_on_regression:
         return 1
     return 0

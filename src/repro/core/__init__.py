@@ -22,6 +22,7 @@ from .engine import (
     BatchedEmbedResult,
     BatchedTrainer,
     CityBatch,
+    backend_speedup_report,
     batched_embed,
     build_batched_model,
     compiled_speedup_report,
@@ -89,5 +90,6 @@ __all__ = [
     "sequential_embed",
     "engine_speedup_report",
     "compiled_speedup_report",
+    "backend_speedup_report",
     "serving_speedup_report",
 ]

@@ -53,6 +53,10 @@ the record epoch entirely.
 
 from __future__ import annotations
 
+import os
+import threading
+import time
+from queue import SimpleQueue
 from typing import Callable, Hashable, NamedTuple, Sequence
 
 import numpy as np
@@ -61,7 +65,9 @@ from .module import Parameter
 from .tensor import Tensor, _is_basic_index, _unbroadcast, record_tape
 
 __all__ = ["Plan", "InferencePlan", "CompiledStep", "compile_step",
-           "record_forward", "RECORD_STATS", "RecordStats"]
+           "record_forward", "RECORD_STATS", "RecordStats",
+           "DEFAULT_LOWERING", "DEFAULT_BACKEND",
+           "resolve_lowering", "resolve_backend", "resolve_workers"]
 
 
 class RecordStats:
@@ -88,6 +94,196 @@ class RecordStats:
 
 
 RECORD_STATS = RecordStats()
+
+
+# ----------------------------------------------------------------------
+# Lowering levels and replay backends
+# ----------------------------------------------------------------------
+#
+# ``lowering`` selects how aggressively the kernel builders rewrite the
+# recorded graph:
+#
+# - ``"v1"`` — the PR 2/4 kernels, preserved verbatim.  This is the
+#   honest baseline the lowering benchmark compares against.
+# - ``"v2"`` (default) — the fused/flattened kernels: batched GEMMs
+#   flattened to single BLAS calls, transposed im2col layout with
+#   vectorized tap copies, two-pass separable pooling, the fused
+#   LayerNorm chain, preallocated sink temporaries, and kernel scratch
+#   leased from a per-plan pool instead of private per-kernel arrays.
+#
+# ``backend`` selects how the flat kernel list is replayed:
+#
+# - ``"serial"`` (default) — one kernel after another on the caller's
+#   thread.
+# - ``"threaded"`` — batch-parallel-safe kernels are partitioned into
+#   contiguous slices of their leading axis and executed on a persistent
+#   worker pool; kernels with cross-slice dependencies (rng draws,
+#   cross-batch reductions, scatter-accumulates) stay serial.  Slices
+#   compute the *same* elements with the same reduction orders, so the
+#   result is bit-identical to the serial backend.
+#
+# Both knobs resolve from the environment when not passed explicitly:
+# ``REPRO_PLAN_LOWERING``, ``REPRO_PLAN_BACKEND``, ``REPRO_PLAN_WORKERS``.
+
+DEFAULT_LOWERING = "v2"
+LOWERINGS = ("v1", "v2")
+DEFAULT_BACKEND = "serial"
+BACKENDS = ("serial", "threaded")
+
+
+def resolve_lowering(lowering: str | None = None) -> str:
+    value = lowering or os.environ.get("REPRO_PLAN_LOWERING") or DEFAULT_LOWERING
+    if value not in LOWERINGS:
+        raise ValueError(f"unknown plan lowering {value!r}; "
+                         f"expected one of {LOWERINGS}")
+    return value
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    value = backend or os.environ.get("REPRO_PLAN_BACKEND") or DEFAULT_BACKEND
+    if value not in BACKENDS:
+        raise ValueError(f"unknown plan backend {value!r}; "
+                         f"expected one of {BACKENDS}")
+    return value
+
+
+def resolve_workers(num_workers: int | None = None) -> int:
+    if num_workers is None:
+        env = os.environ.get("REPRO_PLAN_WORKERS")
+        num_workers = int(env) if env else min(4, os.cpu_count() or 1)
+    return max(1, int(num_workers))
+
+
+class _WorkerPool:
+    """Persistent daemon-thread pool for the threaded replay backend.
+
+    ``run(thunks)`` executes the thunks concurrently and returns when all
+    have finished: the caller's thread runs the first thunk while the
+    helper threads drain the rest, so a pool sized for ``n`` slices keeps
+    ``n - 1`` helper threads.  Pools are shared module-wide by size —
+    every threaded plan with the same worker count replays on the same
+    threads (plans replay one kernel at a time, and ``run`` itself is
+    serialized, so partitions from different plans never interleave).
+    """
+
+    _shared: dict[int, "_WorkerPool"] = {}
+    _shared_lock = threading.Lock()
+
+    def __init__(self, helpers: int):
+        self._queue: SimpleQueue = SimpleQueue()
+        self._done = threading.Condition()
+        self._pending = 0
+        self._errors: list[BaseException] = []
+        self._run_lock = threading.Lock()
+        for i in range(helpers):
+            threading.Thread(target=self._loop, daemon=True,
+                             name=f"repro-plan-worker-{i}").start()
+
+    @classmethod
+    def shared(cls, workers: int) -> "_WorkerPool":
+        helpers = max(0, workers - 1)
+        with cls._shared_lock:
+            pool = cls._shared.get(helpers)
+            if pool is None:
+                pool = cls._shared[helpers] = cls(helpers)
+            return pool
+
+    def _loop(self) -> None:
+        while True:
+            fn = self._queue.get()
+            try:
+                fn()
+            except BaseException as exc:   # surfaced by run()
+                with self._done:
+                    self._errors.append(exc)
+            finally:
+                with self._done:
+                    self._pending -= 1
+                    if self._pending == 0:
+                        self._done.notify_all()
+
+    def run(self, thunks: Sequence[Callable[[], None]]) -> None:
+        with self._run_lock:
+            rest = thunks[1:]
+            if rest:
+                with self._done:
+                    self._pending += len(rest)
+                for fn in rest:
+                    self._queue.put(fn)
+            thunks[0]()
+            if rest:
+                with self._done:
+                    while self._pending:
+                        self._done.wait()
+                    if self._errors:
+                        errors, self._errors = list(self._errors), []
+                        raise errors[0]
+
+
+def _slice_bounds(n: int, parts: int) -> list[tuple[int, int]]:
+    """Contiguous, balanced partition of ``range(n)`` into ≤ ``parts``."""
+    parts = max(1, min(parts, n))
+    step, extra = divmod(n, parts)
+    bounds, lo = [], 0
+    for i in range(parts):
+        hi = lo + step + (1 if i < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+class _BuildContext:
+    """Per-plan build state the kernel builders read from ``scratch``.
+
+    Carries the resolved lowering level and worker count, and owns the
+    *kernel scratch lease pool*: v2 kernels that need private temporaries
+    (conv backward's ``gcols``/``gpadded``, the fused chains' column
+    buffers, accumulate-path products) lease them by (shape, dtype, tag)
+    instead of allocating per kernel.  Kernel scratch is dead outside its
+    own kernel and kernels replay one at a time, so every same-shaped
+    lease shares one buffer; threaded slices that need disjoint scratch
+    distinguish themselves with ``tag``.
+    """
+
+    KEY = "__build__"   # scratch-dict key (node keys are ints, no clash)
+
+    def __init__(self, lowering: str, workers: int):
+        self.lowering = lowering
+        self.workers = workers
+        self._leases: dict[tuple, np.ndarray] = {}
+
+    @property
+    def v2(self) -> bool:
+        return self.lowering != "v1"
+
+    def lease(self, shape, dtype, tag: Hashable = 0) -> np.ndarray:
+        key = (tuple(shape), np.dtype(dtype).str, tag)
+        buf = self._leases.get(key)
+        if buf is None:
+            buf = self._leases[key] = np.empty(key[0], dtype=dtype)
+        return buf
+
+    @property
+    def scratch_bytes(self) -> int:
+        return sum(buf.nbytes for buf in self._leases.values())
+
+
+def _build_ctx(scratch: dict) -> _BuildContext | None:
+    return scratch.get(_BuildContext.KEY)
+
+
+def _lease(scratch: dict, shape, dtype, tag: Hashable = 0) -> np.ndarray:
+    """Kernel scratch from the plan's lease pool (private when there is
+    no build context, e.g. a builder exercised standalone in tests)."""
+    ctx = _build_ctx(scratch)
+    if ctx is None:
+        return np.empty(shape, dtype)
+    return ctx.lease(shape, dtype, tag)
+
+
+def _is_v2(scratch: dict) -> bool:
+    ctx = _build_ctx(scratch)
+    return ctx is not None and ctx.v2
 
 
 def record_forward(fn: Callable[[], Tensor]) -> tuple[Tensor, list[Tensor]]:
@@ -170,6 +366,16 @@ def _fwd_pow(node, scratch):
 def _fwd_matmul(node, scratch):
     a, b = node._prev[0].data, node._prev[1].data
     out = node.data
+    if (_is_v2(scratch) and a.ndim >= 3 and b.ndim == 2
+            and a.flags.c_contiguous and out.flags.c_contiguous):
+        # A batch of row blocks times one shared right matrix is a single
+        # GEMM on the flattened rows: every output element is the same
+        # dot product over the same k-panel, so the result is bitwise
+        # identical to the batched call — minus the per-block dispatch
+        # of a loop of tiny GEMMs.
+        a2 = a.reshape(-1, a.shape[-1])
+        o2 = out.reshape(-1, out.shape[-1])
+        return lambda: np.matmul(a2, b, out=o2)
     if a.ndim >= 2 and b.ndim >= 2:
         return lambda: np.matmul(a, b, out=out)
     return lambda: np.copyto(out, a @ b)
@@ -336,6 +542,49 @@ def _fwd_dropout(node, scratch):
     return run
 
 
+def _fwd_conv2d_v2(node, scratch):
+    # Lowered layout: the patch matrix is kept transposed and contiguous
+    # as colsT (C·k·k, H·W), filled by k·k contiguous tap copies instead
+    # of one big strided gather.  The forward GEMM flat_w @ colsT computes
+    # the same dot products as the v1 transposed path bit-for-bit.
+    kernel, pad, batched, eager_cols = node._ctx
+    x = node._prev[0].data
+    weight = node._prev[1].data
+    bias = node._prev[2].data if len(node._prev) > 2 else None
+    out = node.data
+    data4 = x if batched else x[None]
+    batch, channels, height, width = data4.shape
+    out_channels = weight.shape[0]
+    ckk = channels * kernel * kernel
+    hw = height * width
+    padded = np.zeros((batch, channels, height + 2 * pad, width + 2 * pad),
+                      dtype=x.dtype)
+    inner = padded[:, :, pad:pad + height, pad:pad + width]
+    colsT = np.empty((ckk, hw), dtype=x.dtype)
+    colsT5 = colsT.reshape(channels, kernel, kernel, height, width)
+    if eager_cols is not None:
+        # Seed from the eager im2col buffer so the recording step's
+        # backward (which runs before any lowered forward) reads the
+        # exact patch matrix the eager forward produced.
+        colsT5[:] = eager_cols.reshape(
+            height, width, channels, kernel, kernel).transpose(2, 3, 4, 0, 1)
+    scratch[id(node)] = ("colsT", colsT)
+    flat_w = weight.reshape(out_channels, -1)
+    out4 = out if batched else out[None]
+    out_flat = out4.reshape(out_channels, hw)
+
+    def run():
+        np.copyto(inner, data4)
+        for ky in range(kernel):
+            for kx in range(kernel):
+                np.copyto(colsT5[:, ky, kx],
+                          padded[0, :, ky:ky + height, kx:kx + width])
+        np.matmul(flat_w, colsT, out=out_flat)
+        if bias is not None:
+            np.add(out_flat, bias[:, None], out=out_flat)
+    return run
+
+
 def _fwd_conv2d(node, scratch):
     kernel, pad, batched, eager_cols = node._ctx
     x = node._prev[0].data
@@ -345,6 +594,9 @@ def _fwd_conv2d(node, scratch):
     data4 = x if batched else x[None]
     batch, channels, height, width = data4.shape
     out_channels = weight.shape[0]
+    out4_probe = out if batched else out[None]
+    if _is_v2(scratch) and batch == 1 and out4_probe.flags.c_contiguous:
+        return _fwd_conv2d_v2(node, scratch)
     padded = np.zeros((batch, channels, height + 2 * pad, width + 2 * pad),
                       dtype=x.dtype)
     inner = padded[:, :, pad:pad + height, pad:pad + width]
@@ -355,8 +607,12 @@ def _fwd_conv2d(node, scratch):
         padded, shape=(batch, height, width, channels, kernel, kernel),
         strides=(s[0], s[2], s[3], s[1], s[2], s[3]), writeable=False)
     # Adopt the eager im2col buffer: the recording step's backward then
-    # reads the exact patch matrix its forward produced.
+    # reads the exact patch matrix its forward produced.  Plan-cache
+    # rebuilds pass cols=None; allocate a fresh buffer in that case.
     cols = eager_cols
+    if cols is None:
+        cols = np.empty((batch * height * width, channels * kernel * kernel),
+                        dtype=x.dtype)
     cols6 = cols.reshape(batch, height, width, channels, kernel, kernel)
     flat_w = weight.reshape(out_channels, -1)
     out4 = out if batched else out[None]
@@ -477,7 +733,8 @@ def _bwd_mul(node, grads, written, scratch):
                 runs.append(lambda pg=pg, other=other:
                             np.multiply(g, other, out=pg))
             else:
-                tmp = np.empty_like(g)
+                tmp = (_lease(scratch, g.shape, g.dtype, "mul")
+                       if _is_v2(scratch) else np.empty_like(g))
 
                 def accumulate(pg=pg, other=other, tmp=tmp):
                     np.multiply(g, other, out=tmp)
@@ -523,8 +780,36 @@ def _bwd_matmul(node, grads, written, scratch):
             b_T = b.swapaxes(-1, -2)
             shape = (np.broadcast_shapes(g.shape[:-2], b_T.shape[:-2])
                      + (g.shape[-2], b_T.shape[-1]))
-            if store and tuple(shape) == pg.shape:
+            flat = (_is_v2(scratch) and b.ndim == 2 and g.ndim >= 3
+                    and tuple(shape) == pg.shape
+                    and g.flags.c_contiguous and pg.flags.c_contiguous)
+            if flat:
+                # Same flattened-GEMM rewrite as the v2 forward: dA rows
+                # are independent dot products against b_T, so one flat
+                # GEMM is bitwise the batched loop.
+                g2 = g.reshape(-1, g.shape[-1])
+                pg2 = pg.reshape(-1, pg.shape[-1])
+                if store:
+                    runs.append(lambda pg2=pg2, g2=g2, b_T=b_T:
+                                np.matmul(g2, b_T, out=pg2))
+                else:
+                    tmp = _lease(scratch, pg2.shape, pg.dtype, "mm")
+
+                    def acc_a(pg2=pg2, g2=g2, b_T=b_T, tmp=tmp):
+                        np.matmul(g2, b_T, out=tmp)
+                        np.add(pg2, tmp, out=pg2)
+                    runs.append(acc_a)
+            elif store and tuple(shape) == pg.shape:
                 runs.append(lambda pg=pg, b_T=b_T: np.matmul(g, b_T, out=pg))
+            elif _is_v2(scratch) and tuple(shape) == pg.shape:
+                # Accumulate path without the per-replay allocation: GEMM
+                # into leased scratch, then one in-place add.
+                tmp = _lease(scratch, shape, pg.dtype, "mm")
+
+                def acc_a2(pg=pg, b_T=b_T, tmp=tmp):
+                    np.matmul(g, b_T, out=tmp)
+                    np.add(pg, tmp, out=pg)
+                runs.append(acc_a2)
             else:
                 sink = _contrib_sink(pg, shape, store)
                 runs.append(lambda sink=sink, b_T=b_T: sink(g @ b_T))
@@ -554,8 +839,37 @@ def _bwd_matmul(node, grads, written, scratch):
             a_T = a.swapaxes(-1, -2)
             shape = (np.broadcast_shapes(a_T.shape[:-2], g.shape[:-2])
                      + (a_T.shape[-2], g.shape[-1]))
-            if store and tuple(shape) == pg.shape:
+            flat = (_is_v2(scratch) and b.ndim == 2 and a.ndim >= 3
+                    and a.shape[:-2] == g.shape[:-2]
+                    and a.flags.c_contiguous and g.flags.c_contiguous)
+            if flat:
+                # dB = Σ_batch a[i]ᵀ @ g[i]: flattening the batch rows
+                # turns the materialize-then-unbroadcast reduction (a
+                # (B, k, n) temporary per replay) into one GEMM whose
+                # k-loop runs over the same products in a different
+                # association — ≈1e-15 relative rounding, inside the
+                # ≤1e-8 parity budget like the fused-gate re-association.
+                a2_T = a.reshape(-1, a.shape[-1]).T
+                g2 = g.reshape(-1, g.shape[-1])
+                if store:
+                    runs.append(lambda pg=pg, a2_T=a2_T, g2=g2:
+                                np.matmul(a2_T, g2, out=pg))
+                else:
+                    tmp = _lease(scratch, pg.shape, pg.dtype, "mm")
+
+                    def acc_b(pg=pg, a2_T=a2_T, g2=g2, tmp=tmp):
+                        np.matmul(a2_T, g2, out=tmp)
+                        np.add(pg, tmp, out=pg)
+                    runs.append(acc_b)
+            elif store and tuple(shape) == pg.shape:
                 runs.append(lambda pg=pg, a_T=a_T: np.matmul(a_T, g, out=pg))
+            elif _is_v2(scratch) and tuple(shape) == pg.shape:
+                tmp = _lease(scratch, shape, pg.dtype, "mm")
+
+                def acc_b2(pg=pg, a_T=a_T, tmp=tmp):
+                    np.matmul(a_T, g, out=tmp)
+                    np.add(pg, tmp, out=pg)
+                runs.append(acc_b2)
             else:
                 sink = _contrib_sink(pg, shape, store)
                 runs.append(lambda sink=sink, a_T=a_T: sink(a_T @ g))
@@ -633,7 +947,12 @@ def _bwd_softmax(node, grads, written, scratch):
     store = _mark(written, id(parent))
     # dx = out ⊙ (g − Σ g⊙out) staged through one buffer: the parent
     # grad itself when storing, a preallocated scratch when accumulating.
-    tmp = pg if (store and pg.shape == g.shape) else np.empty_like(g)
+    if store and pg.shape == g.shape:
+        tmp = pg
+    elif _is_v2(scratch):
+        tmp = _lease(scratch, g.shape, g.dtype, "softmax")
+    else:
+        tmp = np.empty_like(g)
 
     def run():
         np.multiply(g, out, out=tmp)
@@ -808,6 +1127,82 @@ def _bwd_dropout(node, grads, written, scratch):
     return lambda: np.add(pg, g * mask, out=pg)
 
 
+def _bwd_conv2d_v2(node, grads, written, scratch, colsT):
+    # Backward for the lowered colsT layout.  All three gradient GEMMs
+    # read the transposed patch matrix directly; the col2im scatter and
+    # the dX column buffer run through leased kernel scratch, so every
+    # conv node in the plan shares one gcolsT/gpadded allocation.
+    kernel, pad, batched, _ = node._ctx
+    g = grads[id(node)]
+    x_t, w_t = node._prev[0], node._prev[1]
+    bias_t = node._prev[2] if len(node._prev) > 2 else None
+    x, weight = x_t.data, w_t.data
+    data4_shape = x.shape if batched else (1,) + x.shape
+    batch, channels, height, width = data4_shape
+    out_channels = weight.shape[0]
+    ckk = channels * kernel * kernel
+    hw = height * width
+    flat_w = weight.reshape(out_channels, -1)
+    g4 = g if batched else g[None]
+    if g4.flags.c_contiguous:
+        g_om = g4.reshape(out_channels, hw)
+        pre = None
+    else:
+        g_om = _lease(scratch, (out_channels, hw), g.dtype, "conv_g")
+        g_om4 = g_om.reshape(g4.shape)
+
+        def pre():
+            np.copyto(g_om4, g4)
+    runs = []
+    if w_t.requires_grad:
+        wg = grads[id(w_t)]
+        store = _mark(written, id(w_t))
+        wg_flat = wg.reshape(out_channels, -1)
+        colsT_T = colsT.T
+        if store:
+            runs.append(lambda: np.matmul(g_om, colsT_T, out=wg_flat))
+        else:
+            wg_tmp = _lease(scratch, wg_flat.shape, wg.dtype, "conv_wg")
+
+            def acc_w():
+                np.matmul(g_om, colsT_T, out=wg_tmp)
+                np.add(wg_flat, wg_tmp, out=wg_flat)
+            runs.append(acc_w)
+    if bias_t is not None and bias_t.requires_grad:
+        sink = _contrib_sink(grads[id(bias_t)], (out_channels,),
+                             _mark(written, id(bias_t)))
+        runs.append(lambda: sink(g_om.sum(axis=1)))
+    if x_t.requires_grad:
+        pg = grads[id(x_t)]
+        store = _mark(written, id(x_t))
+        gcolsT = _lease(scratch, (ckk, hw), g.dtype, "conv_gcols")
+        gcolsT5 = gcolsT.reshape(channels, kernel, kernel, height, width)
+        gpadded = _lease(scratch, (batch, channels, height + 2 * pad,
+                                   width + 2 * pad), g.dtype, "conv_gpad")
+        crop = (gpadded[:, :, pad:-pad, pad:-pad] if pad else gpadded)
+
+        def run_x():
+            np.matmul(flat_w.T, g_om, out=gcolsT)
+            gpadded.fill(0.0)
+            for ky in range(kernel):
+                for kx in range(kernel):
+                    gpadded[0, :, ky:ky + height, kx:kx + width] += \
+                        gcolsT5[:, ky, kx]
+            contrib = crop if batched else crop[0]
+            if store:
+                np.copyto(pg, contrib)
+            else:
+                np.add(pg, contrib, out=pg)
+        runs.append(run_x)
+
+    def run():
+        if pre is not None:
+            pre()
+        for fn in runs:
+            fn()
+    return run
+
+
 def _bwd_conv2d(node, grads, written, scratch):
     kernel, pad, batched, _ = node._ctx
     g = grads[id(node)]
@@ -815,6 +1210,8 @@ def _bwd_conv2d(node, grads, written, scratch):
     bias_t = node._prev[2] if len(node._prev) > 2 else None
     x, weight = x_t.data, w_t.data
     cols = scratch[id(node)]
+    if isinstance(cols, tuple):
+        return _bwd_conv2d_v2(node, grads, written, scratch, cols[1])
     data4_shape = x.shape if batched else (1,) + x.shape
     batch, channels, height, width = data4_shape
     out_channels = weight.shape[0]
@@ -962,6 +1359,18 @@ class _GateFusion(NamedTuple):
         return (self.gate, self.mul) if self.add is None else \
             (self.gate, self.mul, self.add)
 
+    @property
+    def traffic_nodes(self) -> tuple[Tensor, ...]:
+        """Buffers the fused kernels sweep (for the profiler's byte
+        histogram)."""
+        return (self.pool._prev[0], self.pool, self.gate, self.mul)
+
+    @property
+    def grad_targets(self) -> tuple[Tensor, ...]:
+        """Tensors whose gradients the fused backward kernel writes."""
+        parent = self.pool._prev[0]
+        return (parent,) if parent.requires_grad else ()
+
 
 def _find_gate_fusions(nodes: list[Tensor]) -> list[_GateFusion]:
     consumers: dict[int, list[Tensor]] = {}
@@ -1030,7 +1439,23 @@ def _separable_avg3(src, dst, colbuf, scale):
     np.multiply(dst, scale, out=dst)
 
 
-def _fused_gate_forward(fusion: _GateFusion):
+def _separable_avg3_v2(src, dst, colbuf, scale):
+    """The v2 lowering of :func:`_separable_avg3`: same 3-tap operator,
+    same per-element addition order (``x[i] + x[i-1]``, then ``+
+    x[i+1]``), so the result is *bitwise* identical — but each pass
+    starts from a fused two-operand add instead of a full copy followed
+    by an in-place add, saving one full sweep of the array per pass."""
+    np.add(src[..., 1:, :], src[..., :-1, :], out=colbuf[..., 1:, :])
+    np.copyto(colbuf[..., :1, :], src[..., :1, :])
+    colbuf[..., :-1, :] += src[..., 1:, :]
+    np.add(colbuf[..., :, 1:], colbuf[..., :, :-1], out=dst[..., :, 1:])
+    np.copyto(dst[..., :, :1], colbuf[..., :, :1])
+    dst[..., :, :-1] += colbuf[..., :, 1:]
+    np.multiply(dst, scale, out=dst)
+
+
+def _fused_gate_forward(fusion: _GateFusion, scratch,
+                        channel_range=None, tag=0):
     pool, gate_n, mul_n = fusion.pool, fusion.gate, fusion.mul
     x = pool._prev[0].data
     corr, gate, gated = pool.data, gate_n.data, mul_n.data
@@ -1038,15 +1463,20 @@ def _fused_gate_forward(fusion: _GateFusion):
     # broadcasting over the query rows exactly as the eager add did.
     madd = fusion.mask.data[..., 0, :, :] if fusion.mask is not None else None
     height, width = x.shape[-2:]
-    channels = x.shape[-3]
+    channels = channel_range or range(x.shape[-3])
     lead = x.shape[:-3]
-    colbuf = np.empty(lead + (height, width), dtype=x.dtype)
+    avg3 = _separable_avg3_v2 if _is_v2(scratch) else _separable_avg3
+    if _is_v2(scratch):
+        colbuf = _lease(scratch, lead + (height, width), x.dtype,
+                        ("gate_col", tag))
+    else:
+        colbuf = np.empty(lead + (height, width), dtype=x.dtype)
 
     def run():
-        for c in range(channels):
+        for c in channels:
             cc = corr[..., c, :, :]
             gc = gate[..., c, :, :]
-            _separable_avg3(x[..., c, :, :], cc, colbuf, 1.0 / 9.0)
+            avg3(x[..., c, :, :], cc, colbuf, 1.0 / 9.0)
             if madd is None:
                 np.subtract(cc, cc.max(axis=-1, keepdims=True), out=gc)
             else:
@@ -1058,23 +1488,34 @@ def _fused_gate_forward(fusion: _GateFusion):
     return run
 
 
-def _fused_gate_backward(fusion: _GateFusion, grads, written):
+def _fused_gate_backward(fusion: _GateFusion, grads, written, scratch,
+                         channel_range=None, tag=0, store=None):
     pool, gate_n, mul_n = fusion.pool, fusion.gate, fusion.mul
     g_gated = grads[id(mul_n)]
     corr, gate = pool.data, gate_n.data
     parent = pool._prev[0]
     pg = grads[id(parent)]
-    store = _mark(written, id(parent))
+    if store is None:
+        store = _mark(written, id(parent))
     height, width = corr.shape[-2:]
-    channels = corr.shape[-3]
+    channels = channel_range or range(corr.shape[-3])
     lead = corr.shape[:-3]
-    dcorr = np.empty(lead + (height, width), dtype=corr.dtype)
-    dgate = np.empty_like(dcorr)
-    tmp = np.empty_like(dcorr)
-    colbuf = np.empty_like(dcorr)
+    shape = lead + (height, width)
+    if _is_v2(scratch):
+        dcorr = _lease(scratch, shape, corr.dtype, ("gate_dcorr", tag))
+        dgate = _lease(scratch, shape, corr.dtype, ("gate_dgate", tag))
+        tmp = _lease(scratch, shape, corr.dtype, ("gate_tmp", tag))
+        colbuf = _lease(scratch, shape, corr.dtype, ("gate_col", tag))
+        avg3 = _separable_avg3_v2
+    else:
+        dcorr = np.empty(shape, dtype=corr.dtype)
+        dgate = np.empty_like(dcorr)
+        tmp = np.empty_like(dcorr)
+        colbuf = np.empty_like(dcorr)
+        avg3 = _separable_avg3
 
     def run():
-        for c in range(channels):
+        for c in channels:
             gg = g_gated[..., c, :, :]
             cc = corr[..., c, :, :]
             gc = gate[..., c, :, :]
@@ -1092,10 +1533,312 @@ def _fused_gate_backward(fusion: _GateFusion, grads, written):
             # backward scatter (same separable 3-tap operator).
             target = pg[..., c, :, :]
             if store:
-                _separable_avg3(dcorr, target, colbuf, 1.0 / 9.0)
+                avg3(dcorr, target, colbuf, 1.0 / 9.0)
             else:
-                _separable_avg3(dcorr, tmp, colbuf, 1.0 / 9.0)
+                avg3(dcorr, tmp, colbuf, 1.0 / 9.0)
                 np.add(target, tmp, out=target)
+    return run
+
+
+class _LNFusion(NamedTuple):
+    """One fusable LayerNorm chain: the 16-node tape pattern
+    ``mean -> var -> (x - mean) * (var + eps)**-0.5 * gamma + beta``
+    that :class:`repro.nn.layers.LayerNorm` records.  ``s1`` (the first
+    node created) heads the fused forward kernel; ``out`` (the last)
+    heads the fused backward kernel."""
+
+    x: Tensor
+    s1: Tensor      # sum(x, -1, keep)          — mean numerator
+    m1: Tensor      # s1 * (1/d)                — mean (normalization)
+    s2: Tensor      # sum(x, -1, keep)          — var's own mean
+    m2: Tensor      # s2 * (1/d)
+    neg_a: Tensor   # m2 * -1
+    c1: Tensor      # x + neg_a                 — centered (variance)
+    sq: Tensor      # c1 * c1
+    s3: Tensor      # sum(sq, -1, keep)
+    var: Tensor     # s3 * (1/d)
+    neg_b: Tensor   # m1 * -1
+    c2: Tensor      # x + neg_b                 — centered (bitwise == c1)
+    ve: Tensor      # var + eps
+    rstd: Tensor    # ve ** -0.5
+    norm: Tensor    # c2 * rstd
+    ng: Tensor      # norm * gamma
+    out: Tensor     # ng + beta
+    gamma: Tensor
+    beta: Tensor
+    inv: float      # 1/d, the recorded mean scale
+    eps: float
+
+    @property
+    def fused_away(self) -> tuple[Tensor, ...]:
+        """Interior nodes the fused *forward* replaces (head ``s1``
+        emits the kernel; everything downstream through ``out`` is
+        written by it or elided)."""
+        return (self.m1, self.s2, self.m2, self.neg_a, self.c1, self.sq,
+                self.s3, self.var, self.neg_b, self.c2, self.ve,
+                self.rstd, self.norm, self.ng, self.out)
+
+    @property
+    def bwd_fused_away(self) -> tuple[Tensor, ...]:
+        """Nodes whose generic backward kernels (and gradient buffers)
+        the fused backward at head ``out`` replaces."""
+        return (self.s1, self.m1, self.s2, self.m2, self.neg_a, self.c1,
+                self.sq, self.s3, self.var, self.neg_b, self.c2, self.ve,
+                self.rstd, self.norm, self.ng)
+
+    @property
+    def inference_dead(self) -> tuple[Tensor, ...]:
+        """Buffers a forward-only plan never materializes (only ``out``
+        survives; the training plan keeps c1/ve/rstd/norm for backward)."""
+        return (self.s1,) + self.fused_away[:-1]
+
+    @property
+    def traffic_nodes(self) -> tuple[Tensor, ...]:
+        return (self.x, self.c1, self.norm, self.out)
+
+    @property
+    def grad_targets(self) -> tuple[Tensor, ...]:
+        return tuple(t for t in (self.beta, self.gamma, self.x)
+                     if t.requires_grad)
+
+
+def _find_layernorm_fusions(nodes: list[Tensor]) -> list[_LNFusion]:
+    consumers: dict[int, list[Tensor]] = {}
+    for n in nodes:
+        for p in n._prev:
+            consumers.setdefault(id(p), []).append(n)
+    pos = {id(n): i for i, n in enumerate(nodes)}
+
+    def sole(t: Tensor, expected: Tensor) -> bool:
+        cons = consumers.get(id(t), [])
+        return len(cons) == 1 and cons[0] is expected
+
+    def const_scalar(t: Tensor) -> bool:
+        return (not t._prev and not t.requires_grad
+                and getattr(t.data, "ndim", None) == 0)
+
+    def last_axis_sum(t: Tensor, src: Tensor) -> bool:
+        if t._op != "sum" or t._prev[0] is not src:
+            return False
+        axis, keepdims = t._ctx
+        return keepdims and axis in (-1, src.ndim - 1)
+
+    fusions: list[_LNFusion] = []
+    claimed: set[int] = set()
+    for out in nodes:
+        if out._op != "add" or len(out._prev) != 2:
+            continue
+        ng, beta = out._prev
+        if ng._op != "mul" or len(ng._prev) != 2 or beta._prev:
+            continue
+        norm, gamma = ng._prev
+        if norm._op != "mul" or gamma._prev or not sole(ng, out):
+            continue
+        c2, rstd = norm._prev
+        if (c2._op != "add" or rstd._op != "pow"
+                or rstd._ctx != (-0.5,) or not sole(norm, ng)):
+            continue
+        x, neg_b = c2._prev
+        ve = rstd._prev[0]
+        if (ve._op != "add" or neg_b._op != "mul"
+                or not sole(c2, norm) or not sole(rstd, norm)):
+            continue
+        var, eps_t = ve._prev
+        m1, neg1b = neg_b._prev
+        if (var._op != "mul" or not const_scalar(eps_t)
+                or m1._op != "mul" or not const_scalar(neg1b)
+                or not sole(ve, rstd) or not sole(neg_b, c2)):
+            continue
+        s3, c_var = var._prev
+        s1, c_m1 = m1._prev
+        if (s3._op != "sum" or not const_scalar(c_var)
+                or not last_axis_sum(s1, x) or not const_scalar(c_m1)
+                or not sole(var, ve) or not sole(m1, neg_b)
+                or not sole(s1, m1)):
+            continue
+        sq = s3._prev[0]
+        if (sq._op != "mul" or sq._prev[0] is not sq._prev[1]
+                or not last_axis_sum(s3, sq) or not sole(s3, var)
+                or not sole(sq, s3)):
+            continue
+        c1 = sq._prev[0]
+        if c1._op != "add" or c1._prev[0] is not x:
+            continue
+        c1_cons = consumers.get(id(c1), [])
+        if len(c1_cons) != 2 or any(c is not sq for c in c1_cons):
+            continue
+        neg_a = c1._prev[1]
+        if neg_a._op != "mul" or not sole(neg_a, c1):
+            continue
+        m2, neg1a = neg_a._prev
+        if (m2._op != "mul" or not const_scalar(neg1a)
+                or not sole(m2, neg_a)):
+            continue
+        s2, c_m2 = m2._prev
+        if (not last_axis_sum(s2, x) or not const_scalar(c_m2)
+                or not sole(s2, m2)):
+            continue
+        # Shapes: the affine output must keep x's shape (the direct
+        # same-shape gradient paths below depend on it), reductions are
+        # (..., 1).
+        red = x.shape[:-1] + (1,)
+        if not (out.shape == ng.shape == norm.shape == c1.shape
+                == c2.shape == sq.shape == x.shape):
+            continue
+        if not all(t.shape == red for t in (s1, m1, s2, m2, neg_a, neg_b,
+                                            s3, var, ve, rstd)):
+            continue
+        inv = float(c_m1.data)
+        if (float(c_m2.data) != inv or float(c_var.data) != inv
+                or float(neg1a.data) != -1.0 or float(neg1b.data) != -1.0):
+            continue
+        members = (s1, m1, s2, m2, neg_a, c1, sq, s3, var, neg_b, c2,
+                   ve, rstd, norm, ng, out)
+        if any(id(t) in claimed for t in members):
+            continue
+        # The fused backward reorders nothing only if no foreign kernel
+        # interleaves the chain: require the 16 nodes to be consecutive
+        # on the tape (straight-line eager code always is).
+        indices = sorted(pos[id(t)] for t in members)
+        if indices[-1] - indices[0] != len(members) - 1:
+            continue
+        claimed.update(id(t) for t in members)
+        fusions.append(_LNFusion(x, s1, m1, s2, m2, neg_a, c1, sq, s3,
+                                 var, neg_b, c2, ve, rstd, norm, ng, out,
+                                 gamma, beta, inv, float(eps_t.data)))
+    return fusions
+
+
+def _fused_ln_forward(fusion: _LNFusion, scratch, inference: bool = False):
+    """One kernel for the whole LayerNorm forward chain.
+
+    Arithmetic is the generic kernels' bit-for-bit: the duplicate mean
+    (``m2``) is computed once, ``x - mean`` replaces ``x + (-mean)``
+    (IEEE-identical), and ``c2`` aliases ``c1`` (bitwise equal on the
+    tape).  Training plans materialize c1/ve/rstd/norm into their
+    adopted node buffers for the backward pass; inference plans route
+    everything through leased kernel scratch and write only ``out``.
+    """
+    x = fusion.x.data
+    gamma, beta = fusion.gamma.data, fusion.beta.data
+    out = fusion.out.data
+    inv, eps = fusion.inv, fusion.eps
+    red_shape = x.shape[:-1] + (1,)
+    if inference:
+        c1 = _lease(scratch, x.shape, x.dtype, ("ln_row", 0))
+        ve = _lease(scratch, red_shape, x.dtype, ("ln_red", 0))
+        rstd = _lease(scratch, red_shape, x.dtype, ("ln_red", 1))
+        norm = c1      # c1 is dead once norm is formed; aligned in-place
+    else:
+        c1 = fusion.c1.data
+        ve = fusion.ve.data
+        rstd = fusion.rstd.data
+        norm = fusion.norm.data
+    red = _lease(scratch, red_shape, x.dtype, ("ln_red", 2))
+    sq = _lease(scratch, x.shape, x.dtype, ("ln_row", 1))
+    ng = sq            # sq is dead once its sum is taken
+
+    def run():
+        np.sum(x, axis=-1, keepdims=True, out=red)
+        np.multiply(red, inv, out=red)
+        np.subtract(x, red, out=c1)
+        np.multiply(c1, c1, out=sq)
+        np.sum(sq, axis=-1, keepdims=True, out=red)
+        np.multiply(red, inv, out=red)
+        np.add(red, eps, out=ve)
+        np.copyto(rstd, ve ** -0.5)
+        np.multiply(c1, rstd, out=norm)
+        np.multiply(norm, gamma, out=ng)
+        np.add(ng, beta, out=out)
+    return run
+
+
+def _fused_ln_backward(fusion: _LNFusion, grads, written, scratch):
+    """One kernel for the whole LayerNorm backward chain.
+
+    Replays exactly what the 16 generic backward kernels compute, in
+    the same dx contribution order (c2 store, c1 accumulate, then the
+    two broadcast mean terms), with every interior gradient held in
+    leased scratch instead of pooled buffers.  ``_mark`` is called in
+    the generic kernels' leaf order (beta, gamma, x) so store-vs-
+    accumulate decisions are unchanged when a leaf is shared with other
+    chains."""
+    x_t, gamma_t, beta_t = fusion.x, fusion.gamma, fusion.beta
+    g_out = grads[id(fusion.out)]
+    c1 = fusion.c1.data
+    ve = fusion.ve.data
+    rstd = fusion.rstd.data
+    norm = fusion.norm.data
+    gamma = gamma_t.data
+    inv = fusion.inv
+    row = g_out.shape
+    red_shape = row[:-1] + (1,)
+    dt = g_out.dtype
+    runs = []
+    if beta_t.requires_grad:
+        beta_sink = _contrib_sink(grads[id(beta_t)], row,
+                                  _mark(written, id(beta_t)))
+        runs.append(lambda: beta_sink(g_out))
+    if gamma_t.requires_grad:
+        gamma_sink = _contrib_sink(grads[id(gamma_t)], row,
+                                   _mark(written, id(gamma_t)))
+        prod = _lease(scratch, row, dt, ("ln_grow", 0))
+
+        def d_gamma():
+            np.multiply(g_out, norm, out=prod)
+            gamma_sink(prod)
+        runs.append(d_gamma)
+    if x_t.requires_grad:
+        gx = grads[id(x_t)]
+        store = _mark(written, id(x_t))
+        D1 = _lease(scratch, row, dt, ("ln_grow", 0))
+        D2 = _lease(scratch, row, dt, ("ln_grow", 1))
+        S1 = _lease(scratch, red_shape, dt, ("ln_gred", 0))
+        S2 = _lease(scratch, red_shape, dt, ("ln_gred", 1))
+        P1 = _lease(scratch, red_shape, dt, ("ln_gred", 2))
+
+        def d_x():
+            # dnorm = dout ⊙ gamma  (dout ≡ dng: the +beta edge copies)
+            np.multiply(g_out, gamma, out=D1)
+            # rstd edge of norm = c2 ⊙ rstd: reduce (dnorm ⊙ c2) — c2
+            # is bitwise c1, which the forward materialized.
+            np.multiply(D1, c1, out=D2)
+            np.copyto(S1, _unbroadcast(D2, S1.shape))
+            # c2 edge: first dx contribution (the static store slot)
+            np.multiply(D1, rstd, out=D2)
+            if store:
+                np.copyto(gx, D2)
+            else:
+                np.add(gx, D2, out=gx)
+            # neg_b <- c2 (reduced); finished below as the s1 term
+            np.copyto(S2, _unbroadcast(D2, S2.shape))
+            # pow backward: dve = (drstd · -0.5) · ve^(-3/2)
+            np.multiply(S1, -0.5, out=S1)
+            np.power(ve, -1.5, out=P1)
+            np.multiply(S1, P1, out=S1)
+            # ve -> var -> s3 (scale), then broadcast to dsq
+            np.multiply(S1, inv, out=S1)
+            np.copyto(D1, S1)
+            # sq = c1 ⊙ c1: the two edges store then accumulate
+            np.multiply(D1, c1, out=D2)
+            np.multiply(D1, c1, out=D1)
+            np.add(D2, D1, out=D2)
+            # c1 -> x: second dx contribution
+            np.add(gx, D2, out=gx)
+            # neg_a <- c1, then m2 -> s2 -> x (third contribution)
+            np.copyto(S1, _unbroadcast(D2, S1.shape))
+            np.multiply(S1, -1.0, out=S1)
+            np.multiply(S1, inv, out=S1)
+            np.add(gx, S1, out=gx)
+            # neg_b -> m1 -> s1 -> x (fourth contribution)
+            np.multiply(S2, -1.0, out=S2)
+            np.multiply(S2, inv, out=S2)
+            np.add(gx, S2, out=gx)
+        runs.append(d_x)
+
+    def run():
+        for fn in runs:
+            fn()
     return run
 
 
@@ -1127,6 +1870,397 @@ _BWD = {
     "conv2d": _bwd_conv2d,
     "avgpool2d": _bwd_avgpool2d,
 }
+
+
+# ----------------------------------------------------------------------
+# Threaded backend: batch-parallel kernel partitioning
+# ----------------------------------------------------------------------
+#
+# The threaded replay backend splits *batch-parallel-safe* kernels into
+# per-slice thunks over the leading axis and runs them on the shared
+# worker pool; everything else — cross-batch reductions (sum/dB/dbias),
+# dropout's sequential RNG, conv's overlapping scatter, fancy-index
+# backward — replays serially on the caller's thread.  Every slice
+# computes exactly the rows the serial kernel would (elementwise ufuncs,
+# row-wise softmax, and m-split GEMMs are all row-independent), so a
+# threaded replay is bitwise identical to a serial replay of the same
+# plan.
+
+#: Don't split outputs smaller than this (elements): per-kernel pool
+#: dispatch costs more than the sweep it parallelizes.
+_PARTITION_MIN_ELEMENTS = 32768
+
+_UNARY_FWD_UFUNC = {"exp": np.exp, "log": np.log, "tanh": np.tanh}
+
+
+def _partition_fwd(node, scratch, workers):
+    """Per-slice thunks for a batch-parallel-safe forward kernel, or
+    None when the op must replay serially."""
+    op = node._op
+    out = node.data
+    if out.ndim < 2 or out.size < _PARTITION_MIN_ELEMENTS:
+        return None
+    bounds = _slice_bounds(out.shape[0], workers)
+    if len(bounds) < 2:
+        return None
+
+    if op in ("add", "mul"):
+        a, b = node._prev[0].data, node._prev[1].data
+        if a.shape != out.shape or b.shape != out.shape:
+            return None   # broadcasting: slices would not align
+        ufunc = np.add if op == "add" else np.multiply
+        return [lambda lo=lo, hi=hi:
+                ufunc(a[lo:hi], b[lo:hi], out=out[lo:hi])
+                for lo, hi in bounds]
+
+    if op in _UNARY_FWD_UFUNC:
+        a = node._prev[0].data
+        ufunc = _UNARY_FWD_UFUNC[op]
+        return [lambda lo=lo, hi=hi: ufunc(a[lo:hi], out=out[lo:hi])
+                for lo, hi in bounds]
+
+    if op == "relu":
+        a = node._prev[0].data
+        return [lambda lo=lo, hi=hi:
+                np.maximum(a[lo:hi], 0.0, out=out[lo:hi])
+                for lo, hi in bounds]
+
+    if op == "abs":
+        a = node._prev[0].data
+        return [lambda lo=lo, hi=hi: np.abs(a[lo:hi], out=out[lo:hi])
+                for lo, hi in bounds]
+
+    if op == "sigmoid":
+        a = node._prev[0].data
+
+        def sig_part(lo, hi):
+            o = out[lo:hi]
+            np.negative(a[lo:hi], out=o)
+            np.exp(o, out=o)
+            np.add(o, 1.0, out=o)
+            np.divide(1.0, o, out=o)
+        return [lambda lo=lo, hi=hi: sig_part(lo, hi) for lo, hi in bounds]
+
+    if op == "leaky_relu":
+        (slope,) = node._ctx
+        a = node._prev[0].data
+
+        def leaky_part(lo, hi):
+            o = out[lo:hi]
+            asl = a[lo:hi]
+            np.multiply(asl, slope, out=o)
+            np.copyto(o, asl, where=asl > 0.0)
+        return [lambda lo=lo, hi=hi: leaky_part(lo, hi) for lo, hi in bounds]
+
+    if op == "pow":
+        (exponent,) = node._ctx
+        a = node._prev[0].data
+        return [lambda lo=lo, hi=hi:
+                np.copyto(out[lo:hi], a[lo:hi] ** exponent)
+                for lo, hi in bounds]
+
+    if op == "softmax":
+        (axis,) = node._ctx
+        if axis % out.ndim == 0:
+            return None   # normalizing over the split axis
+        a = node._prev[0].data
+
+        def sm_part(lo, hi):
+            asl, o = a[lo:hi], out[lo:hi]
+            np.subtract(asl, asl.max(axis=axis, keepdims=True), out=o)
+            np.exp(o, out=o)
+            np.divide(o, o.sum(axis=axis, keepdims=True), out=o)
+        return [lambda lo=lo, hi=hi: sm_part(lo, hi) for lo, hi in bounds]
+
+    if op == "log_softmax":
+        (axis,) = node._ctx
+        if axis % out.ndim == 0:
+            return None
+        a = node._prev[0].data
+
+        def lsm_part(lo, hi):
+            asl, o = a[lo:hi], out[lo:hi]
+            np.subtract(asl, asl.max(axis=axis, keepdims=True), out=o)
+            np.subtract(o, np.log(np.exp(o).sum(axis=axis, keepdims=True)),
+                        out=o)
+        return [lambda lo=lo, hi=hi: lsm_part(lo, hi) for lo, hi in bounds]
+
+    if op == "matmul":
+        a, b = node._prev[0].data, node._prev[1].data
+        if b.ndim != 2:
+            return None
+        if a.ndim == 2:
+            return [lambda lo=lo, hi=hi:
+                    np.matmul(a[lo:hi], b, out=out[lo:hi])
+                    for lo, hi in bounds]
+        # m-split of the flattened-rows GEMM (rows independent) — only
+        # when the serial kernel takes the same flattened path, so the
+        # two backends sum identical k-panels.
+        if (_is_v2(scratch) and a.flags.c_contiguous
+                and out.flags.c_contiguous):
+            a2 = a.reshape(-1, a.shape[-1])
+            o2 = out.reshape(-1, out.shape[-1])
+            rb = _slice_bounds(a2.shape[0], workers)
+            if len(rb) < 2:
+                return None
+            return [lambda lo=lo, hi=hi:
+                    np.matmul(a2[lo:hi], b, out=o2[lo:hi])
+                    for lo, hi in rb]
+        return None
+
+    return None
+
+
+def _bwd_store_flags(node, written):
+    """Peek ``written`` (read-only, *before* the serial builder marks it)
+    and return {id(parent): first-write?} in the builder's edge order."""
+    flags: dict[int, bool] = {}
+    for p in node._prev:
+        if p.requires_grad and id(p) not in flags:
+            flags[id(p)] = id(p) not in written
+    return flags
+
+
+def _sliced_sink(pg, store, bounds):
+    """Per-slice store/accumulate closures for a same-shaped gradient
+    contribution (the partitioned twin of :func:`_contrib_sink`)."""
+    if store:
+        return [lambda c, dst=pg[lo:hi]: np.copyto(dst, c)
+                for lo, hi in bounds]
+    return [lambda c, dst=pg[lo:hi]: np.add(dst, c, out=dst)
+            for lo, hi in bounds]
+
+
+def _partition_bwd(node, grads, written, scratch, workers):
+    """Per-slice thunks for a batch-parallel-safe backward kernel, or
+    None when the op must replay serially.
+
+    Must run *before* the serial builder for the same node: the
+    store-vs-accumulate decision peeks ``written`` without marking it
+    (the serial builder, which always runs afterwards, does the
+    marking).
+    """
+    op = node._op
+    g = grads.get(id(node))
+    if g is None or g.ndim < 2 or g.size < _PARTITION_MIN_ELEMENTS:
+        return None
+    bounds = _slice_bounds(g.shape[0], workers)
+    if len(bounds) < 2:
+        return None
+    flags = _bwd_store_flags(node, written)
+
+    if op == "add":
+        sinks = []
+        for p in node._prev:
+            if not p.requires_grad:
+                continue
+            pg = grads[id(p)]
+            if pg.shape != g.shape:
+                return None
+            sinks.append((pg, flags.pop(id(p), False)))
+        if not sinks:
+            return None
+
+        def add_part(lo, hi):
+            gsl = g[lo:hi]
+            for pg, store in sinks:
+                if store:
+                    np.copyto(pg[lo:hi], gsl)
+                else:
+                    np.add(pg[lo:hi], gsl, out=pg[lo:hi])
+        return [lambda lo=lo, hi=hi: add_part(lo, hi) for lo, hi in bounds]
+
+    if op == "mul":
+        a, b = node._prev
+        edges = []
+        for self_t, other_t in ((a, b), (b, a)):
+            if not self_t.requires_grad:
+                continue
+            pg = grads[id(self_t)]
+            other = other_t.data
+            if pg.shape != g.shape or other.shape != g.shape:
+                return None
+            edges.append((pg, other, flags.pop(id(self_t), False)))
+        if not edges:
+            return None
+        parts = []
+        for w, (lo, hi) in enumerate(bounds):
+            tmps = [None if store else
+                    _lease(scratch, g[lo:hi].shape, g.dtype, ("mul_p", w, i))
+                    for i, (pg, other, store) in enumerate(edges)]
+
+            def mul_part(lo=lo, hi=hi, tmps=tmps):
+                gsl = g[lo:hi]
+                for (pg, other, store), tmp in zip(edges, tmps):
+                    if store:
+                        np.multiply(gsl, other[lo:hi], out=pg[lo:hi])
+                    else:
+                        np.multiply(gsl, other[lo:hi], out=tmp)
+                        np.add(pg[lo:hi], tmp, out=pg[lo:hi])
+            parts.append(mul_part)
+        return parts
+
+    if op in ("exp", "log", "tanh", "sigmoid", "relu", "leaky_relu",
+              "abs", "pow"):
+        parent = node._prev[0]
+        if not parent.requires_grad:
+            return None
+        pg = grads[id(parent)]
+        if pg.shape != g.shape:
+            return None
+        store = flags.get(id(parent), False)
+        out = node.data
+        a = parent.data
+        ctx = node._ctx
+
+        def unary_contrib(lo, hi):
+            gsl = g[lo:hi]
+            if op == "exp":
+                return gsl * out[lo:hi]
+            if op == "log":
+                return gsl / a[lo:hi]
+            if op == "tanh":
+                return gsl * (1.0 - out[lo:hi] ** 2)
+            if op == "sigmoid":
+                return gsl * out[lo:hi] * (1.0 - out[lo:hi])
+            if op == "relu":
+                return gsl * (a[lo:hi] > 0.0)
+            if op == "leaky_relu":
+                return np.where(a[lo:hi] > 0.0, gsl, gsl * ctx[0])
+            if op == "abs":
+                return gsl * np.sign(a[lo:hi])
+            return gsl * ctx[0] * a[lo:hi] ** (ctx[0] - 1.0)   # pow
+
+        sinks = _sliced_sink(pg, store, bounds)
+        return [lambda lo=lo, hi=hi, sink=sink: sink(unary_contrib(lo, hi))
+                for (lo, hi), sink in zip(bounds, sinks)]
+
+    if op == "softmax":
+        (axis,) = node._ctx
+        if axis % g.ndim == 0:
+            return None   # reduction over the split axis
+        parent = node._prev[0]
+        if not parent.requires_grad:
+            return None
+        pg = grads[id(parent)]
+        if pg.shape != g.shape:
+            return None
+        store = flags.get(id(parent), False)
+        out = node.data
+        parts = []
+        for w, (lo, hi) in enumerate(bounds):
+            tmp = (pg[lo:hi] if store else
+                   _lease(scratch, g[lo:hi].shape, g.dtype, ("softmax_p", w)))
+
+            def sm_part(lo=lo, hi=hi, tmp=tmp):
+                gsl, osl = g[lo:hi], out[lo:hi]
+                np.multiply(gsl, osl, out=tmp)
+                dot = tmp.sum(axis=axis, keepdims=True)
+                np.subtract(gsl, dot, out=tmp)
+                np.multiply(osl, tmp, out=tmp)
+                if not store:
+                    np.add(pg[lo:hi], tmp, out=pg[lo:hi])
+            parts.append(sm_part)
+        return parts
+
+    if op == "matmul":
+        a_t, b_t = node._prev
+        if a_t is b_t:
+            return None   # dA and dB would race on one buffer
+        a, b = a_t.data, b_t.data
+        if not a_t.requires_grad or b.ndim != 2 or a.ndim < 2:
+            return None
+        pg = grads[id(a_t)]
+        store_a = flags.get(id(a_t), False)
+        b_T = b.T
+        if a.ndim == 2:
+            if pg.shape != (g.shape[0], b_T.shape[1]):
+                return None
+            g2, pg2 = g, pg
+            rb = bounds
+        else:
+            # Mirror the serial v2 flattened-dA path's exact conditions;
+            # under v1 the serial kernel runs a batched GEMM, so the op
+            # stays serial there.
+            if not (_is_v2(scratch) and g.flags.c_contiguous
+                    and pg.flags.c_contiguous and pg.shape == a.shape):
+                return None
+            g2 = g.reshape(-1, g.shape[-1])
+            pg2 = pg.reshape(-1, pg.shape[-1])
+            rb = _slice_bounds(g2.shape[0], workers)
+            if len(rb) < 2:
+                return None
+        parts = []
+        for w, (lo, hi) in enumerate(rb):
+            if store_a:
+                parts.append(lambda lo=lo, hi=hi:
+                             np.matmul(g2[lo:hi], b_T, out=pg2[lo:hi]))
+            else:
+                tmp = _lease(scratch, pg2[lo:hi].shape, pg.dtype, ("mm_p", w))
+
+                def acc_part(lo=lo, hi=hi, tmp=tmp):
+                    np.matmul(g2[lo:hi], b_T, out=tmp)
+                    np.add(pg2[lo:hi], tmp, out=pg2[lo:hi])
+                parts.append(acc_part)
+        # dB is a cross-batch reduction — one serial thunk, run
+        # concurrently with the dA slices (disjoint output buffers).
+        if b_t.requires_grad:
+            pgb = grads[id(b_t)]
+            store_b = flags.get(id(b_t), False)
+            if a.ndim == 2:
+                if pgb.shape != (a.shape[1], g.shape[1]):
+                    return None
+                a2_T = a.T
+            else:
+                # Only when the serial v2 flattened-dB path applies (one
+                # flat GEMM); any other association must stay serial.
+                if not (_is_v2(scratch) and a.flags.c_contiguous
+                        and g.flags.c_contiguous
+                        and a.shape[:-2] == g.shape[:-2]):
+                    return None
+                a2_T = a.reshape(-1, a.shape[-1]).T
+            g2b = g.reshape(-1, g.shape[-1]) if g.ndim > 2 else g
+            if store_b:
+                parts.append(lambda: np.matmul(a2_T, g2b, out=pgb))
+            else:
+                tmpb = _lease(scratch, pgb.shape, pgb.dtype, ("mm_p", "b"))
+
+                def acc_b_part(tmpb=tmpb):
+                    np.matmul(a2_T, g2b, out=tmpb)
+                    np.add(pgb, tmpb, out=pgb)
+                parts.append(acc_b_part)
+        return parts
+
+    return None
+
+
+def _gate_fwd_parts(fusion: "_GateFusion", scratch, workers):
+    """Channel-split thunks for the fused gate forward: each slice runs
+    the per-channel kernel on a disjoint channel range with its own
+    scratch lease (``tag``), writing disjoint channel planes."""
+    channels = fusion.pool.data.shape[-3]
+    cb = _slice_bounds(channels, workers)
+    if len(cb) < 2:
+        return None
+    return [_fused_gate_forward(fusion, scratch,
+                                channel_range=range(lo, hi), tag=w + 1)
+            for w, (lo, hi) in enumerate(cb)]
+
+
+def _gate_bwd_parts(fusion: "_GateFusion", grads, written, scratch, workers):
+    """Channel-split thunks for the fused gate backward.  Must run
+    before the serial builder: the store flag peeks ``written`` and is
+    passed explicitly so the slices never re-mark it."""
+    channels = fusion.pool.data.shape[-3]
+    cb = _slice_bounds(channels, workers)
+    if len(cb) < 2:
+        return None
+    parent = fusion.pool._prev[0]
+    store = id(parent) not in written
+    return [_fused_gate_backward(fusion, grads, written, scratch,
+                                 channel_range=range(lo, hi), tag=w + 1,
+                                 store=store)
+            for w, (lo, hi) in enumerate(cb)]
 
 
 # ----------------------------------------------------------------------
@@ -1170,6 +2304,184 @@ class _BufferPool:
         """Account for a private (never-recycled) buffer."""
         self.allocated_bytes += nbytes
 
+
+def _node_bytes(node: Tensor) -> int:
+    """Approximate memory traffic of one kernel: output + read operands."""
+    total = node.data.nbytes
+    for p in node._prev:
+        if p.data is not None:
+            total += p.data.nbytes
+    return total
+
+
+def _fusion_bytes(fusion) -> int:
+    total = 0
+    for t in fusion.traffic_nodes:
+        if t is not None and t.data is not None:
+            total += t.data.nbytes
+    return total
+
+
+def _profile_ops(ops, meta, stats, kernels) -> float:
+    """Time one replay of ``ops`` kernel-by-kernel into ``stats`` (keyed
+    by op tag) and ``kernels`` (keyed by kernel index within the list)."""
+    total = 0.0
+    for i, (fn, (tag, nbytes)) in enumerate(zip(ops, meta)):
+        t0 = time.perf_counter()
+        fn()
+        dt = time.perf_counter() - t0
+        total += dt
+        entry = stats.setdefault(tag, {"count": 0, "calls": 0,
+                                       "seconds": 0.0, "bytes": 0})
+        entry["calls"] += 1
+        entry["seconds"] += dt
+        entry["bytes"] += nbytes
+        kern = kernels.setdefault((tag, i), {"kernel": f"{tag}#{i}",
+                                             "seconds": 0.0, "bytes": nbytes})
+        kern["seconds"] += dt
+    return total
+
+
+def _profile_report(stats, kernels, replays, total) -> dict:
+    for entry in stats.values():
+        entry["count"] = entry["calls"] // replays
+        entry["calls"] = entry["calls"]
+    top = sorted(kernels.values(), key=lambda k: -k["seconds"])[:5]
+    for kern in top:
+        kern["seconds"] /= replays
+    return {
+        "replays": replays,
+        "seconds_per_replay": total / replays,
+        "ops": dict(sorted(stats.items(), key=lambda kv: -kv[1]["seconds"])),
+        "top_kernels": top,
+    }
+
+
+# ----------------------------------------------------------------------
+# Folded optimizer: gradient clipping + parameter update as plan kernels
+# ----------------------------------------------------------------------
+
+
+def _build_update_ops(plan: "Plan", optimizer, grad_clip: float):
+    """Lower ``clip_grad_norm`` + ``optimizer.step`` into flat kernels.
+
+    The kernels capture the plan's leaf gradient buffers and the
+    optimizer's own moment/scratch arrays, so a replayed epoch becomes a
+    single flat kernel list — forward, backward, update — with no eager
+    optimizer code on the hot path.  The arithmetic replicates
+    :mod:`repro.nn.optim` expression for expression (same in-place
+    sequence, same python-float norm summation order), so trajectories
+    stay bit-identical to the unfused path.  Runtime-dependent scalars
+    (the clip threshold test, Adam's bias correction) are recomputed on
+    every replay, and the optimizer's ``_step_count`` is advanced so
+    eager and folded steps can interleave consistently.
+    """
+    from .optim import SGD, Adam   # deferred: optim never imports compile
+
+    grad_of = {id(t): g for t, g in plan.leaves}
+    # After ``zero_grad`` + ``plan.backward()`` the parameters with
+    # non-None grads are exactly the plan's leaves, in this order.
+    entries = [(i, p, grad_of[id(p)])
+               for i, p in enumerate(optimizer.parameters)
+               if id(p) in grad_of]
+    ops: list[Callable[[], None]] = []
+    meta: list[tuple[str, int]] = []
+    state: dict = {"scale": None, "norm": None}
+
+    if grad_clip > 0:
+        norm_bufs = [(g, plan._build.lease(g.shape, g.dtype, "opt_norm"))
+                     for _, _, g in entries]
+        max_norm = float(grad_clip)
+
+        def clip_kernel():
+            total = 0
+            for g, ws in norm_bufs:
+                np.power(g, 2, out=ws)
+                total = total + float(ws.sum())
+            total = float(np.sqrt(total))
+            state["norm"] = total
+            if total > max_norm and total > 0.0:
+                scale = max_norm / total
+                state["scale"] = scale
+                for g, _ in norm_bufs:
+                    np.multiply(g, scale, out=g)
+            else:
+                state["scale"] = None
+
+        ops.append(clip_kernel)
+        meta.append(("U:clip_grad_norm",
+                     2 * sum(g.nbytes for _, _, g in entries)))
+
+    if isinstance(optimizer, Adam):
+        beta1, beta2 = optimizer.beta1, optimizer.beta2
+        lr, eps, wd = optimizer.lr, optimizer.eps, optimizer.weight_decay
+
+        def bias_kernel():
+            optimizer._step_count += 1
+            state["bias1"] = 1.0 - beta1 ** optimizer._step_count
+            state["bias2"] = 1.0 - beta2 ** optimizer._step_count
+
+        ops.append(bias_kernel)
+        meta.append(("U:adam_bias", 0))
+        for i, param, g in entries:
+
+            def adam_kernel(g=g, m=optimizer._m[i], v=optimizer._v[i],
+                            s1=optimizer._s1[i], s2=optimizer._s2[i],
+                            data=param.data):
+                grad = g
+                if wd:
+                    # grad + wd·data, staged through s2 (free until the
+                    # divide phase, which runs after grad's last read).
+                    np.multiply(data, wd, out=s2)
+                    np.add(g, s2, out=s2)
+                    grad = s2
+                m *= beta1
+                np.multiply(grad, 1.0 - beta1, out=s1)
+                m += s1
+                v *= beta2
+                np.multiply(grad, 1.0 - beta2, out=s1)
+                s1 *= grad
+                v += s1
+                np.divide(m, state["bias1"], out=s1)
+                s1 *= lr
+                np.divide(v, state["bias2"], out=s2)
+                np.sqrt(s2, out=s2)
+                s2 += eps
+                s1 /= s2
+                data -= s1
+
+            ops.append(adam_kernel)
+            meta.append(("U:adam", g.nbytes * 8))
+    elif isinstance(optimizer, SGD):
+        lr = optimizer.lr
+        momentum = optimizer.momentum
+        wd = optimizer.weight_decay
+        for i, param, g in entries:
+
+            def sgd_kernel(g=g, velocity=optimizer._velocity[i],
+                           data=param.data,
+                           ws=plan._build.lease(g.shape, g.dtype, "opt_sgd")):
+                grad = g
+                if wd:
+                    np.multiply(data, wd, out=ws)
+                    np.add(g, ws, out=ws)
+                    grad = ws
+                if momentum:
+                    velocity *= momentum
+                    velocity += grad
+                    grad = velocity
+                np.multiply(grad, lr, out=ws)
+                data -= ws
+
+            ops.append(sgd_kernel)
+            meta.append(("U:sgd", g.nbytes * (4 if momentum else 2)))
+    else:
+        raise ValueError(
+            f"cannot fold optimizer of type {type(optimizer).__name__}; "
+            "expected Adam or SGD")
+    return ops, meta, state
+
+
 class Plan:
     """A recorded step lowered to flat forward/backward kernel lists.
 
@@ -1184,9 +2496,16 @@ class Plan:
     """
 
     def __init__(self, loss: Tensor, nodes: list[Tensor],
-                 pool_gradients: bool = True):
+                 pool_gradients: bool = True, lowering: str | None = None,
+                 backend: str | None = None, num_workers: int | None = None):
         if not loss.requires_grad or loss.size != 1:
             raise ValueError("plan requires a scalar loss with requires_grad")
+        self.lowering = resolve_lowering(lowering)
+        self.backend = resolve_backend(backend)
+        self.num_workers = resolve_workers(num_workers) \
+            if self.backend == "threaded" else 1
+        self._worker_pool = (_WorkerPool.shared(self.num_workers)
+                             if self.num_workers > 1 else None)
         recorded = {id(n) for n in nodes}
         # Reachable-from-loss subgraph (the part that owes gradients).
         reachable: dict[int, Tensor] = {}
@@ -1209,11 +2528,20 @@ class Plan:
         # per-channel blocked kernels strided) — before any builder or
         # gradient buffer captures a layout.
         fusions = _find_gate_fusions(nodes)
+        # LayerNorm chains fuse only under the v2 lowering: v1 keeps the
+        # generic per-node kernels as the honest comparison baseline.
+        ln_fusions = (_find_layernorm_fusions(nodes)
+                      if self.lowering == "v2" else [])
         fuse_fwd_head = {id(f.pool): f for f in fusions}
+        fuse_fwd_head.update({id(f.s1): f for f in ln_fusions})
         fuse_fwd_skip = {id(t) for f in fusions for t in f.fused_away}
+        fuse_fwd_skip.update(id(t) for f in ln_fusions for t in f.fused_away)
         fuse_bwd_head = {id(f.mul): f for f in fusions}
+        fuse_bwd_head.update({id(f.out): f for f in ln_fusions})
         fuse_bwd_skip = {id(t) for f in fusions
                          for t in (f.pool, f.gate, f.add) if t is not None}
+        fuse_bwd_skip.update(id(t) for f in ln_fusions
+                             for t in f.bwd_fused_away)
         for fusion in fusions:
             targets = [fusion.pool, fusion.gate, fusion.mul]
             # The pool's input too: channel-sliced reads of a channel-last
@@ -1239,14 +2567,34 @@ class Plan:
         grads[id(loss)][...] = 1.0   # seed; loss has no consumers
         self._grads = grads
 
-        scratch: dict[int, object] = {}
+        build = _BuildContext(self.lowering, self.num_workers)
+        scratch: dict = {_BuildContext.KEY: build}
+        self._build = build
+        threaded = self._worker_pool is not None
         self._forward_ops: list[Callable[[], None]] = []
+        self._forward_meta: list[tuple[str, int]] = []
+        #: Aligned with _forward_ops: per-slice thunk lists for the
+        #: threaded backend (None = replay the serial kernel).
+        self._forward_parts: list[list | None] = []
         for node in nodes:
             if id(node) in fuse_fwd_skip:
                 continue
             if id(node) in fuse_fwd_head:
-                self._forward_ops.append(
-                    _fused_gate_forward(fuse_fwd_head[id(node)]))
+                fusion = fuse_fwd_head[id(node)]
+                if isinstance(fusion, _LNFusion):
+                    self._forward_ops.append(
+                        _fused_ln_forward(fusion, scratch))
+                    self._forward_meta.append(
+                        ("F:fused_layernorm", _fusion_bytes(fusion)))
+                    self._forward_parts.append(None)
+                else:
+                    self._forward_ops.append(
+                        _fused_gate_forward(fusion, scratch))
+                    self._forward_meta.append(
+                        ("F:fused_gate", _fusion_bytes(fusion)))
+                    self._forward_parts.append(
+                        _gate_fwd_parts(fusion, scratch, self.num_workers)
+                        if threaded else None)
                 continue
             builder = _FWD.get(node._op)
             if builder is None:
@@ -1255,24 +2603,53 @@ class Plan:
             fn = builder(node, scratch)
             if fn is not None:
                 self._forward_ops.append(fn)
+                self._forward_meta.append((f"F:{node._op}", _node_bytes(node)))
+                self._forward_parts.append(
+                    _partition_fwd(node, scratch, self.num_workers)
+                    if threaded else None)
 
         self._backward_ops: list[Callable[[], None]] = []
+        self._backward_meta: list[tuple[str, int]] = []
+        self._backward_parts: list[list | None] = []
         written: set[int] = {id(loss)}
         for node in reversed(nodes):
             if id(node) not in reachable or id(node) in fuse_bwd_skip:
                 continue
             if id(node) in fuse_bwd_head:
+                fusion = fuse_bwd_head[id(node)]
+                if isinstance(fusion, _LNFusion):
+                    if node.requires_grad:
+                        self._backward_ops.append(_fused_ln_backward(
+                            fusion, grads, written, scratch))
+                        self._backward_meta.append(
+                            ("B:fused_layernorm", _fusion_bytes(fusion)))
+                        self._backward_parts.append(None)
+                    continue
+                # Peek the store decision before the serial builder (the
+                # marking call) consumes the first write.
+                parts = (_gate_bwd_parts(fusion, grads, written, scratch,
+                                         self.num_workers)
+                         if threaded else None)
                 self._backward_ops.append(_fused_gate_backward(
-                    fuse_bwd_head[id(node)], grads, written))
+                    fusion, grads, written, scratch))
+                self._backward_meta.append(
+                    ("B:fused_gate", _fusion_bytes(fusion)))
+                self._backward_parts.append(parts)
                 continue
             builder = _BWD.get(node._op)
             if builder is None:
                 raise NotImplementedError(
                     f"op {node._op!r} has no compiled backward kernel")
+            parts = (_partition_bwd(node, grads, written, scratch,
+                                    self.num_workers)
+                     if threaded else None)
             fn = builder(node, grads, written, scratch)
             if fn is not None:
                 self._backward_ops.append(fn)
+                self._backward_meta.append((f"B:{node._op}", _node_bytes(node)))
+                self._backward_parts.append(parts)
         self.num_fused_chains = len(fusions)
+        self.num_fused_layernorms = len(ln_fusions)
 
         #: requires-grad leaves (parameters and gradcheck inputs) in
         #: discovery order, with their plan-owned gradient buffers.
@@ -1283,6 +2660,12 @@ class Plan:
         self.op_counts: dict[str, int] = {}
         for node in nodes:
             self.op_counts[node._op] = self.op_counts.get(node._op, 0) + 1
+
+        # Optimizer folding (see fuse_optimizer): empty until requested.
+        self._update_ops: list[Callable[[], None]] = []
+        self._update_meta: list[tuple[str, int]] = []
+        self._update_state: dict = {}
+        self.fused_optimizer = None
 
     # ------------------------------------------------------------------
     def _allocate_gradients(self, loss: Tensor, nodes: list[Tensor],
@@ -1324,8 +2707,7 @@ class Plan:
         birth: dict[int, int] = {}
         for i, n in enumerate(bwd_nodes):
             if id(n) in fuse_bwd_head:
-                parent = fuse_bwd_head[id(n)].pool._prev[0]
-                targets = (parent,) if parent.requires_grad else ()
+                targets = fuse_bwd_head[id(n)].grad_targets
             else:
                 targets = tuple(p for p in n._prev if p.requires_grad)
             for p in targets:
@@ -1372,7 +2754,36 @@ class Plan:
             "grad_buffer_bytes_unpooled": unpooled,
             "grad_buffer_reduction": (
                 1.0 - self._grad_bytes / unpooled if unpooled else 0.0),
+            "kernel_scratch_bytes": self._build.scratch_bytes,
         }
+
+    def profile(self, replays: int = 3, include_update: bool = False) -> dict:
+        """Per-op-kind replay timing/byte histogram.
+
+        Replays the plan ``replays`` times with a ``perf_counter`` pair
+        around every kernel and aggregates by op tag (``F:matmul``,
+        ``B:fused_gate``, ...).  This is a separate instrumented walk of
+        the same kernel lists — :meth:`forward`/:meth:`backward` carry
+        zero profiling overhead when it is not called.  Returns op-kind
+        aggregates sorted by time plus the five hottest individual
+        kernels (``tag#index``, seconds averaged per replay).
+
+        ``include_update`` also times any folded optimizer kernels —
+        note this *applies* ``replays`` real parameter updates, so only
+        use it on throwaway models/benchmarks, never mid-training.
+        """
+        stats: dict[str, dict] = {}
+        kernels: dict[tuple, dict] = {}
+        total = 0.0
+        for _ in range(max(1, replays)):
+            total += _profile_ops(self._forward_ops, self._forward_meta,
+                                  stats, kernels)
+            total += _profile_ops(self._backward_ops, self._backward_meta,
+                                  stats, kernels)
+            if include_update and self._update_ops:
+                total += _profile_ops(self._update_ops, self._update_meta,
+                                      stats, kernels)
+        return _profile_report(stats, kernels, max(1, replays), total)
 
     # ------------------------------------------------------------------
     @property
@@ -1388,10 +2799,24 @@ class Plan:
         (``load_state_dict`` and manual reassignment break this)."""
         return all(t.data is buf for t, buf in self._param_buffers)
 
+    @property
+    def num_threaded_ops(self) -> int:
+        """Kernels the threaded backend replays as parallel slices."""
+        return (sum(p is not None for p in self._forward_parts)
+                + sum(p is not None for p in self._backward_parts))
+
     def forward(self) -> float:
         """Replay the forward pass in-place; returns the loss value."""
-        for fn in self._forward_ops:
-            fn()
+        pool = self._worker_pool
+        if pool is None:
+            for fn in self._forward_ops:
+                fn()
+        else:
+            for fn, parts in zip(self._forward_ops, self._forward_parts):
+                if parts is None:
+                    fn()
+                else:
+                    pool.run(parts)
         return float(self._loss_data)
 
     def backward(self) -> None:
@@ -1401,8 +2826,16 @@ class Plan:
         buffers (marked not-owned, so any later eager accumulation copies
         rather than corrupting them).
         """
-        for fn in self._backward_ops:
-            fn()
+        pool = self._worker_pool
+        if pool is None:
+            for fn in self._backward_ops:
+                fn()
+        else:
+            for fn, parts in zip(self._backward_ops, self._backward_parts):
+                if parts is None:
+                    fn()
+                else:
+                    pool.run(parts)
         for t, buf in self.leaves:
             t.grad = buf
             t._grad_owned = False
@@ -1411,6 +2844,49 @@ class Plan:
         """One full step: forward + backward; returns the loss value."""
         value = self.forward()
         self.backward()
+        return value
+
+    # -- optimizer folding ---------------------------------------------
+    def fuse_optimizer(self, optimizer, grad_clip: float = 0.0) -> None:
+        """Append gradient clipping + the optimizer update to the plan.
+
+        After fusing, :meth:`replay_step` runs one flat kernel list per
+        epoch (forward, backward, clip, update) — bit-identical to
+        ``plan.replay()`` followed by eager ``clip_grad_norm`` +
+        ``optimizer.step()``.  Pass ``grad_clip <= 0`` to skip clipping,
+        matching the eager loop's guard.
+        """
+        ops, meta, state = _build_update_ops(self, optimizer, grad_clip)
+        self._update_ops = ops
+        self._update_meta = meta
+        self._update_state = state
+        self.fused_optimizer = optimizer
+
+    @property
+    def num_update_ops(self) -> int:
+        return len(self._update_ops)
+
+    @property
+    def last_grad_norm(self) -> float | None:
+        """Pre-clip gradient norm from the most recent update replay
+        (None before the first, or when fused without clipping)."""
+        return self._update_state.get("norm")
+
+    def update(self) -> None:
+        """Replay the folded clip + optimizer-update kernels."""
+        if not self._update_ops:
+            raise RuntimeError(
+                "no optimizer fused onto this plan; call fuse_optimizer "
+                "first")
+        for fn in self._update_ops:
+            fn()
+
+    def replay_step(self) -> float:
+        """One full training epoch as a single flat kernel list:
+        forward + backward + folded optimizer update."""
+        value = self.forward()
+        self.backward()
+        self.update()
         return value
 
 
@@ -1476,9 +2952,16 @@ class InferencePlan:
 
     def __init__(self, output: Tensor, nodes: list[Tensor],
                  inputs: Sequence[Tensor], params: Sequence[Tensor] | None = None,
-                 pool_buffers: bool = True):
+                 pool_buffers: bool = True, lowering: str | None = None,
+                 backend: str | None = None, num_workers: int | None = None):
         if not output._prev:
             raise ValueError("inference plan output must be a computed node")
+        self.lowering = resolve_lowering(lowering)
+        self.backend = resolve_backend(backend)
+        self.num_workers = resolve_workers(num_workers) \
+            if self.backend == "threaded" else 1
+        self._worker_pool = (_WorkerPool.shared(self.num_workers)
+                             if self.num_workers > 1 else None)
         recorded = {id(n) for n in nodes}
         reachable: dict[int, Tensor] = {}
         stack = [output]
@@ -1502,15 +2985,25 @@ class InferencePlan:
         # Fusion decisions first (they fix birth positions); consumers
         # are computed over live nodes only — dead branches never replay.
         fusions = _find_gate_fusions(order)
+        ln_fusions = (_find_layernorm_fusions(order)
+                      if self.lowering == "v2" else [])
         fuse_fwd_head = {id(f.pool): f for f in fusions}
+        fuse_fwd_head.update({id(f.s1): f for f in ln_fusions})
         fuse_fwd_skip = {id(t) for f in fusions for t in f.fused_away}
+        fuse_fwd_skip.update(id(t) for f in ln_fusions for t in f.fused_away)
         skip_alloc = {id(f.add) for f in fusions if f.add is not None}
+        skip_alloc.update(id(t) for f in ln_fusions
+                          for t in f.inference_dead)
         birth_override: dict[int, int] = {}
         pos = {id(n): i for i, n in enumerate(order)}
         for f in fusions:
             head = pos[id(f.pool)]
             birth_override[id(f.gate)] = head
             birth_override[id(f.mul)] = head
+        for f in ln_fusions:
+            # Only the affine output materializes; it is born when the
+            # single fused kernel (at the chain head) runs.
+            birth_override[id(f.out)] = pos[id(f.s1)]
 
         shapes = {id(n): n.data.shape for n in order}
         dtypes = {id(n): n.data.dtype for n in order}
@@ -1528,14 +3021,32 @@ class InferencePlan:
             self._slot_bytes = self._slot_bytes_unpooled
             self._slot_peak_bytes = self._slot_bytes_unpooled
 
-        scratch: dict[int, object] = {}
+        build = _BuildContext(self.lowering, self.num_workers)
+        scratch: dict = {_BuildContext.KEY: build}
+        self._build = build
+        threaded = self._worker_pool is not None
         self._forward_ops: list[Callable[[], None]] = []
+        self._forward_meta: list[tuple[str, int]] = []
+        self._forward_parts: list[list | None] = []
         for node in order:
             if id(node) in fuse_fwd_skip:
                 continue
             if id(node) in fuse_fwd_head:
-                self._forward_ops.append(
-                    _fused_gate_forward(fuse_fwd_head[id(node)]))
+                fusion = fuse_fwd_head[id(node)]
+                if isinstance(fusion, _LNFusion):
+                    self._forward_ops.append(
+                        _fused_ln_forward(fusion, scratch, inference=True))
+                    self._forward_meta.append(
+                        ("F:fused_layernorm", _fusion_bytes(fusion)))
+                    self._forward_parts.append(None)
+                else:
+                    self._forward_ops.append(
+                        _fused_gate_forward(fusion, scratch))
+                    self._forward_meta.append(
+                        ("F:fused_gate", _fusion_bytes(fusion)))
+                    self._forward_parts.append(
+                        _gate_fwd_parts(fusion, scratch, self.num_workers)
+                        if threaded else None)
                 continue
             builder = _FWD.get(node._op)
             if builder is None:
@@ -1544,8 +3055,13 @@ class InferencePlan:
             fn = builder(node, scratch)
             if fn is not None:
                 self._forward_ops.append(fn)
+                self._forward_meta.append((f"F:{node._op}", _node_bytes(node)))
+                self._forward_parts.append(
+                    _partition_fwd(node, scratch, self.num_workers)
+                    if threaded else None)
 
         self.num_fused_chains = len(fusions)
+        self.num_fused_layernorms = len(ln_fusions)
         self.op_counts: dict[str, int] = {}
         for node in order:
             self.op_counts[node._op] = self.op_counts.get(node._op, 0) + 1
@@ -1639,6 +3155,11 @@ class InferencePlan:
         return len(self._forward_ops)
 
     @property
+    def num_threaded_ops(self) -> int:
+        """Kernels the threaded backend replays as parallel slices."""
+        return sum(p is not None for p in self._forward_parts)
+
+    @property
     def inputs(self) -> list[Tensor]:
         return self._inputs
 
@@ -1660,7 +3181,19 @@ class InferencePlan:
             "slot_bytes_unpooled": unpooled,
             "slot_reduction": (1.0 - self._slot_bytes / unpooled
                                if unpooled else 0.0),
+            "kernel_scratch_bytes": self._build.scratch_bytes,
         }
+
+    def profile(self, replays: int = 3) -> dict:
+        """Forward-replay timing/byte histogram (see :meth:`Plan.profile`).
+        Replays on whatever inputs are currently bound to the slots."""
+        stats: dict[str, dict] = {}
+        kernels: dict[tuple, dict] = {}
+        total = 0.0
+        for _ in range(max(1, replays)):
+            total += _profile_ops(self._forward_ops, self._forward_meta,
+                                  stats, kernels)
+        return _profile_report(stats, kernels, max(1, replays), total)
 
     def run(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
         """Replay the forward pass on fresh inputs.
@@ -1679,8 +3212,16 @@ class InferencePlan:
                 raise ValueError(f"input shape {src.shape} does not match "
                                  f"plan slot {slot.shape}")
             np.copyto(slot, src)
-        for fn in self._forward_ops:
-            fn()
+        pool = self._worker_pool
+        if pool is None:
+            for fn in self._forward_ops:
+                fn()
+        else:
+            for fn, parts in zip(self._forward_ops, self._forward_parts):
+                if parts is None:
+                    fn()
+                else:
+                    pool.run(parts)
         self.replays += 1
         return self._output
 
@@ -1703,15 +3244,27 @@ class CompiledStep:
         the step's shapes.  When the signature changes between calls the
         stale plan is dropped and the step falls back to one eager
         (re-recording) execution — the automatic shape-change fallback.
-
-    ``run()`` computes loss + all leaf gradients and returns the loss
-    value; callers clip/step exactly as in eager mode.
+    optimizer, grad_clip:
+        When an optimizer is given, clipping and the parameter update are
+        folded into the plan (:meth:`Plan.fuse_optimizer`) and ``run()``
+        performs the complete training step as one flat kernel list —
+        callers must NOT clip or call ``optimizer.step()`` themselves.
+        Without one, ``run()`` computes loss + all leaf gradients and
+        callers clip/step exactly as in eager mode.
     """
 
     def __init__(self, loss_fn: Callable[[], Tensor],
-                 signature_fn: Callable[[], Hashable] | None = None):
+                 signature_fn: Callable[[], Hashable] | None = None,
+                 optimizer=None, grad_clip: float = 0.0,
+                 lowering: str | None = None, backend: str | None = None,
+                 num_workers: int | None = None):
         self._loss_fn = loss_fn
         self._signature_fn = signature_fn
+        self._optimizer = optimizer
+        self._grad_clip = grad_clip
+        self._lowering = lowering
+        self._backend = backend
+        self._num_workers = num_workers
         self._plan: Plan | None = None
         self._signature: Hashable | None = None
         self.compile_count = 0   # number of (re-)recordings performed
@@ -1728,26 +3281,40 @@ class CompiledStep:
         return not self._plan.params_current()
 
     def run(self) -> float:
-        """One training step's forward+backward; returns the loss value."""
+        """One training step (forward+backward, plus the folded update
+        when an optimizer was given); returns the loss value."""
         signature = self._signature_fn() if self._signature_fn else None
         if self._stale(signature):
             return self._record(signature)
+        if self._optimizer is not None:
+            return self._plan.replay_step()
         return self._plan.replay()
 
     def _record(self, signature: Hashable | None) -> float:
         with record_tape() as nodes:
             loss = self._loss_fn()
         RECORD_STATS.training_records += 1
-        self._plan = Plan(loss, nodes)
+        self._plan = Plan(loss, nodes, lowering=self._lowering,
+                          backend=self._backend,
+                          num_workers=self._num_workers)
+        if self._optimizer is not None:
+            self._plan.fuse_optimizer(self._optimizer, self._grad_clip)
         self._signature = signature
         self.compile_count += 1
         # The eager trace already holds this step's forward values in the
         # adopted buffers; only the backward half needs replaying.
         self._plan.backward()
+        if self._optimizer is not None:
+            self._plan.update()
         return float(loss.data)
 
 
 def compile_step(loss_fn: Callable[[], Tensor],
-                 signature_fn: Callable[[], Hashable] | None = None) -> CompiledStep:
+                 signature_fn: Callable[[], Hashable] | None = None,
+                 optimizer=None, grad_clip: float = 0.0,
+                 lowering: str | None = None, backend: str | None = None,
+                 num_workers: int | None = None) -> CompiledStep:
     """Convenience constructor mirroring ``torch.compile``'s shape."""
-    return CompiledStep(loss_fn, signature_fn)
+    return CompiledStep(loss_fn, signature_fn, optimizer, grad_clip,
+                        lowering=lowering, backend=backend,
+                        num_workers=num_workers)

@@ -24,17 +24,42 @@ from .module import Parameter
 __all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
 
 
+#: Reusable squared-gradient scratch for :func:`clip_grad_norm`, keyed by
+#: (shape, dtype).  Bounded by the set of distinct parameter shapes.
+_norm_scratch: dict[tuple, np.ndarray] = {}
+
+
+def _squared_sum(grad: np.ndarray) -> float:
+    """``float((grad ** 2).sum())`` without the temporary allocation."""
+    key = (grad.shape, grad.dtype.str)
+    ws = _norm_scratch.get(key)
+    if ws is None:
+        ws = _norm_scratch[key] = np.empty(grad.shape, dtype=grad.dtype)
+    np.power(grad, 2, out=ws)
+    return float(ws.sum())
+
+
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     """Scale gradients in place so their global L2 norm is at most ``max_norm``.
 
-    Returns the pre-clipping norm.
+    Returns the pre-clipping norm.  Allocation-free on the steady path:
+    squared gradients go through a preallocated per-shape scratch buffer
+    (same python-float summation order as the allocating form, so the
+    norm — and the golden trajectories — stay bit-identical), and owned
+    gradient arrays are scaled in place.  Unowned gradients (a tensor
+    sharing an upstream array, or a compiled plan's buffers bound by
+    ``Plan.backward``) are rebound to a scaled copy instead — scaling a
+    shared array in place would corrupt the other holder.
     """
     params = [p for p in parameters if p.grad is not None]
-    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    total = float(np.sqrt(sum(_squared_sum(p.grad) for p in params)))
     if total > max_norm and total > 0.0:
         scale = max_norm / total
         for p in params:
-            p.grad = p.grad * scale
+            if p._grad_owned:
+                np.multiply(p.grad, scale, out=p.grad)
+            else:
+                p.grad = p.grad * scale
     return total
 
 

@@ -23,6 +23,12 @@ Three reuse tiers, all keyed on
    (when a cache directory is configured) on disk, so later *processes*
    start at tier 2.
 
+Specs are **backend-neutral**: the lowering level and replay backend
+(serial vs. threaded) are properties of the *built* plan, not of the
+stored program, so requesting a different backend for a cached shape
+costs a tier-2 relower — zero record epochs — and each variant stays
+resident independently.
+
 Robustness: a corrupted, truncated, version-skewed or key-mismatched
 on-disk entry — and a stored spec whose parameter shapes no longer match
 the model — falls back to a fresh record (the bad file is removed).  The
@@ -43,7 +49,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from .compile import InferencePlan
+from .compile import (InferencePlan, resolve_backend, resolve_lowering,
+                      resolve_workers)
 from .tensor import Tensor
 
 __all__ = [
@@ -221,13 +228,21 @@ def _stub(data: np.ndarray, prev: tuple = (), op: str = "",
     return t
 
 
-def build_inference_plan(spec: PlanSpec,
-                         params: Sequence[Tensor]) -> InferencePlan:
+def build_inference_plan(spec: PlanSpec, params: Sequence[Tensor],
+                         lowering: str | None = None,
+                         backend: str | None = None,
+                         num_workers: int | None = None) -> InferencePlan:
     """Relower a :class:`PlanSpec` to a live plan — no eager pass, no
     record epoch.  ``params`` must be the model's parameter list in the
     same order the spec was built with (the config digest in the key
     pins the architecture; shape/dtype mismatches raise
-    :class:`PlanCacheError`)."""
+    :class:`PlanCacheError`).
+
+    ``lowering``/``backend``/``num_workers`` select the kernel lowering
+    level and replay backend of the *built* plan (defaults: the
+    ``REPRO_PLAN_LOWERING`` / ``REPRO_PLAN_BACKEND`` environment).  A
+    spec is backend-neutral — the same on-disk spec relowers to a serial
+    or a threaded plan with no record epoch either way."""
     if spec.version != SPEC_VERSION:
         raise PlanCacheError(f"spec version {spec.version} != {SPEC_VERSION}")
     params = list(params)
@@ -258,11 +273,9 @@ def build_inference_plan(spec: PlanSpec,
             ctx = spec.ctxs[i]
             if spec.ops[i] == "conv2d":
                 kernel, pad, batched = ctx
-                x = prev[0].data
-                b, c, h, w = x.shape if batched else (1,) + tuple(x.shape)
-                cols = np.empty((b * h * w, c * kernel * kernel),
-                                dtype=x.dtype)
-                ctx = (kernel, pad, batched, cols)
+                # The plan builder allocates its own patch buffer (layout
+                # depends on the lowering level), so no cols are shipped.
+                ctx = (kernel, pad, batched, None)
             # Placeholder buffer: the plan's liveness pass replaces it
             # (np.empty reserves without touching pages).
             t = _stub(np.empty(shape, dtype=dtype), prev, spec.ops[i], ctx)
@@ -270,7 +283,9 @@ def build_inference_plan(spec: PlanSpec,
     order = [t for t, kind in zip(tensors, spec.kinds) if kind == "op"]
     if any(t is None for t in inputs):
         raise PlanCacheError("spec input slots are not contiguous")
-    return InferencePlan(tensors[spec.output], order, inputs, params=params)
+    return InferencePlan(tensors[spec.output], order, inputs, params=params,
+                         lowering=lowering, backend=backend,
+                         num_workers=num_workers)
 
 
 # ----------------------------------------------------------------------
@@ -299,6 +314,9 @@ class PlanCache:
         self.capacity = capacity
         self.directory = Path(directory) if directory is not None else None
         self._specs: OrderedDict[tuple, PlanSpec] = OrderedDict()
+        # Live plans are keyed by (spec key, lowering, backend, workers):
+        # specs are backend-neutral, but a lowered plan is bound to one
+        # replay variant, so each variant gets its own resident plan.
         self._plans: dict[tuple, InferencePlan] = {}
         self.hits = 0          # live plan, matching bound parameters
         self.spec_hits = 0     # relowered from a cached spec (no record)
@@ -351,14 +369,32 @@ class PlanCache:
         self._specs.move_to_end(key)
         while len(self._specs) > self.capacity:
             evicted, _ = self._specs.popitem(last=False)
-            self._plans.pop(evicted, None)
+            self._drop_plans(evicted)
+
+    def _drop_plans(self, key: tuple) -> None:
+        """Evict every live backend/lowering variant of ``key``."""
+        for live in [lk for lk in self._plans if lk[0] == key]:
+            del self._plans[live]
 
     # ------------------------------------------------------------------
     def get(self, key: tuple, params: Sequence[Tensor],
-            record: Callable[[], tuple[Tensor, list[Tensor], Sequence[Tensor]]]
-            ) -> InferencePlan:
+            record: Callable[[], tuple[Tensor, list[Tensor], Sequence[Tensor]]],
+            lowering: str | None = None, backend: str | None = None,
+            num_workers: int | None = None) -> InferencePlan:
+        """Fetch a plan by the three reuse tiers (module docstring).
+
+        ``lowering``/``backend``/``num_workers`` pick the replay variant
+        of the *live* plan; the spec tiers (memory LRU and disk) are
+        shared across variants, so switching backend costs one relower —
+        never a record epoch — for a shape whose spec is already cached.
+        """
         params = list(params)
-        plan = self._plans.get(key)
+        resolved_backend = resolve_backend(backend)
+        workers = (resolve_workers(num_workers)
+                   if resolved_backend == "threaded" else 1)
+        live_key = (key, resolve_lowering(lowering), resolved_backend,
+                    workers)
+        plan = self._plans.get(live_key)
         if plan is not None and plan.matches(params):
             self.hits += 1
             if key in self._specs:
@@ -374,23 +410,27 @@ class PlanCache:
                 self._store_memory(key, spec)
         if spec is not None:
             try:
-                plan = build_inference_plan(spec, params)
+                plan = build_inference_plan(spec, params, lowering=lowering,
+                                            backend=backend,
+                                            num_workers=num_workers)
             except PlanCacheError:
                 self.invalidations += 1
                 self._specs.pop(key, None)
-                self._plans.pop(key, None)
+                self._drop_plans(key)
             else:
                 self.spec_hits += 1
-                self._plans[key] = plan
+                self._plans[live_key] = plan
                 return plan
 
         self.misses += 1
         output, nodes, inputs = record()
         spec = build_inference_spec(key, output, nodes, inputs, params)
-        plan = InferencePlan(output, nodes, inputs, params=params)
+        plan = InferencePlan(output, nodes, inputs, params=params,
+                             lowering=lowering, backend=backend,
+                             num_workers=num_workers)
         self._store_memory(key, spec)
         self._store_disk(key, spec)
-        self._plans[key] = plan
+        self._plans[live_key] = plan
         return plan
 
     def stats(self) -> dict:
@@ -410,10 +450,13 @@ class PlanCache:
         serving process watches.  ``replays`` counts requests served by
         the resident program without any record or relower work."""
         rows = []
-        for key, plan in self._plans.items():
+        for (key, lowering, backend, workers), plan in self._plans.items():
             rows.append({
                 "key": hashlib.sha256(repr(key).encode()).hexdigest()[:12],
                 "shapes": [list(s) for s in key[3]] if len(key) > 3 else [],
+                "lowering": lowering,
+                "backend": backend,
+                "workers": workers,
                 "replays": plan.replays,
                 "forward_ops": plan.num_forward_ops,
                 "slot_bytes": plan.buffer_report()["slot_bytes"],

@@ -116,6 +116,14 @@ class EmbeddingService:
     compiled:
         Serve through cached :class:`InferencePlan` replays (default) or
         the eager tape (``False`` — the debugging escape hatch).
+    lowering, backend, num_workers:
+        Kernel lowering level and replay backend for the service's
+        plans (defaults: the ``REPRO_PLAN_LOWERING`` /
+        ``REPRO_PLAN_BACKEND`` / ``REPRO_PLAN_WORKERS`` environment).
+        ``backend="threaded"`` replays batch-parallel-safe kernels
+        across a worker pool — bit-identical output, selected per plan
+        variant in the cache, and warm-startable from a serially
+        recorded spec with zero record epochs.
     plan_cache:
         Defaults to the process-wide cache
         (:func:`repro.nn.plancache.default_plan_cache`), which persists
@@ -147,7 +155,9 @@ class EmbeddingService:
     def __init__(self, model: HAFusion, *, n_max: int | None = None,
                  view_dims: Sequence[int] | None = None,
                  view_names: Sequence[str] | None = None,
-                 compiled: bool = True, plan_cache: PlanCache | None = None,
+                 compiled: bool = True, lowering: str | None = None,
+                 backend: str | None = None, num_workers: int | None = None,
+                 plan_cache: PlanCache | None = None,
                  policy: FlushPolicy | None = None,
                  clock: Callable[[], float] | None = None,
                  flush_log_cap: int = 1024,
@@ -159,6 +169,9 @@ class EmbeddingService:
                           else inferred_dims)
         self.view_names = tuple(view_names) if view_names is not None else None
         self.compiled = compiled
+        self.lowering = lowering
+        self.backend = backend
+        self.num_workers = num_workers
         self.plan_cache = (plan_cache if plan_cache is not None
                            else default_plan_cache())
         self.policy = policy if policy is not None else FlushPolicy()
@@ -226,7 +239,10 @@ class EmbeddingService:
             model.train(was_training)
             return output, nodes, slots
 
-        return self.plan_cache.get(key, params, record)
+        return self.plan_cache.get(key, params, record,
+                                   lowering=self.lowering,
+                                   backend=self.backend,
+                                   num_workers=self.num_workers)
 
     def _plan_event(self, before: dict, after: dict) -> str:
         for field, event in (("misses", "record"), ("disk_hits", "disk"),
@@ -532,10 +548,13 @@ class EmbeddingService:
         regions = sum(s["regions"] for s in buckets.values())
         slots = sum(st.slots for st in self._bucket_stats.values())
         seconds = sum(s["seconds"] for s in buckets.values())
+        from ..nn.compile import resolve_backend, resolve_lowering
         return {
             "n_max": self.n_max,
             "view_dims": list(self.view_dims),
             "compiled": self.compiled,
+            "lowering": resolve_lowering(self.lowering),
+            "backend": resolve_backend(self.backend),
             "requests": self._submitted,
             "responses": self._answered,
             "pending": self.pending(),

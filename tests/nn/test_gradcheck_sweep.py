@@ -287,3 +287,58 @@ def test_compiled_external_attention(rng):
     x = Tensor(rng.standard_normal((3, 2, 4)), requires_grad=True)
     _check_compiled_gradients(lambda: (ext(x) ** 2.0).sum(),
                               [x, ext.m_key, ext.m_value])
+
+
+def test_compiled_fused_layernorm_chain(rng):
+    """LayerNorm lowers to a 16-node tape chain that the plan collapses
+    into one fused forward/backward kernel pair; a stacked
+    LN -> Linear -> LN loss must fuse both and gradcheck pins the fused
+    backward (x, gamma, beta, and the interleaved Linear weights)."""
+    from repro.nn import Linear as _Linear
+
+    ln1, ln2 = LayerNorm(4), LayerNorm(4)
+    lin = _Linear(4, 4, rng=rng)
+    x = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+
+    def loss_fn():
+        return (ln2(lin(ln1(x))) ** 2.0).sum()
+
+    step = CompiledStep(loss_fn)
+    step.run()
+    assert step.plan.num_fused_layernorms == 2
+    _check_compiled_gradients(
+        loss_fn, [x] + ln1.parameters() + lin.parameters()
+        + ln2.parameters())
+
+
+def test_compiled_folded_optimizer_gradcheck(rng):
+    """A plan with the clip + Adam update folded in must still produce
+    finite-difference-correct leaf gradients on replay.  A vanishing
+    learning rate keeps the parameters at their record values (drift
+    ~1e-12, far inside the 1e-4 tolerance) while the update kernels —
+    including the never-scaling 1e9 clip — actually run each step."""
+    from repro.nn import Adam
+
+    mlp = MLP(4, 5, hidden_features=6, rng=rng)
+    x = Tensor(rng.standard_normal((2, 3, 4)))
+    params = mlp.parameters()
+    optimizer = Adam(params, lr=1e-12)
+
+    def loss_fn():
+        return (mlp(x) ** 2.0).sum()
+
+    step = CompiledStep(loss_fn, optimizer=optimizer, grad_clip=1e9)
+    step.run()                      # record (+ folded update)
+    for p in params:
+        p.zero_grad()
+    step.run()                      # replay_step: fwd+bwd+clip+Adam
+    assert step.compile_count == 1
+    assert step.plan.num_update_ops > 0
+    assert step.plan.last_grad_norm > 0.0       # clip kernel executed
+    for index, p in enumerate(params):
+        expected = numeric_gradient(loss_fn, p)
+        assert p.grad is not None
+        assert np.allclose(p.grad, expected, atol=1e-4, rtol=1e-4), (
+            f"folded-plan gradient mismatch for parameter #{index} "
+            f"(shape {p.shape}): max abs err "
+            f"{np.abs(p.grad - expected).max():.3e}")

@@ -170,3 +170,72 @@ class TestMain:
         current = write(tmp_path, "cur.json", payload(1.0, name="b"))
         assert compare_benchmarks.main([str(baseline), str(current)]) == 0
         assert "No overlapping benchmarks" in capsys.readouterr().out
+
+
+class TestMissingBaseline:
+    def test_falls_back_to_seed_baseline(self, tmp_path, capsys):
+        seed = write(tmp_path, "seed.json", payload(1.0, {"speedup": 2.0}))
+        current = write(tmp_path, "cur.json", payload(1.0, {"speedup": 2.1}))
+        assert compare_benchmarks.main(
+            [str(tmp_path / "missing.json"), str(current),
+             "--seed-baseline", str(seed)]) == 0
+        out = capsys.readouterr().out
+        assert "committed seed baseline" in out
+        assert "speedup" in out
+
+    def test_no_baseline_at_all_is_explicit(self, tmp_path, capsys):
+        current = write(tmp_path, "cur.json",
+                        payload(1.0, {"serving": {"speedup": 2.9},
+                                      "latency": {"p99_latency": 0.010}}))
+        assert compare_benchmarks.main(
+            [str(tmp_path / "missing.json"), str(current),
+             "--seed-baseline", str(tmp_path / "also-missing.json")]) == 0
+        out = capsys.readouterr().out
+        assert "**No baseline**" in out
+        assert "serving.speedup" in out       # gauges still surfaced
+        assert "latency.p99_latency" in out
+        assert "10.00ms" in out
+
+    def test_committed_seed_baseline_exists_and_loads(self):
+        assert compare_benchmarks.SEED_BASELINE.is_file(), (
+            "benchmarks/baselines/benchmark-seed.json must be committed "
+            "so a fresh clone's first nightly has a diff target")
+        baseline = compare_benchmarks.load_benchmarks(
+            compare_benchmarks.SEED_BASELINE)
+        assert baseline, "seed baseline holds no benchmarks"
+        gauges = [g for bench in baseline.values()
+                  for g in compare_benchmarks.iter_gauges(
+                      bench.get("extra_info", {}))]
+        assert gauges, "seed baseline carries no speedup/throughput gauges"
+
+
+class TestTopKernels:
+    EXTRA = {"backend": {
+        "speedup": 1.4,
+        "top_kernels": [
+            {"kernel": "F:matmul#12", "seconds": 0.0123, "bytes": 1048576},
+            {"kernel": "B:fused_gate#3", "seconds": 0.0088, "bytes": 524288},
+        ]}}
+
+    def test_top_kernels_rendered_in_summary(self, tmp_path, capsys):
+        baseline = write(tmp_path, "base.json", payload(1.0, self.EXTRA))
+        current = write(tmp_path, "cur.json", payload(1.0, self.EXTRA))
+        assert compare_benchmarks.main([str(baseline), str(current)]) == 0
+        out = capsys.readouterr().out
+        assert "Hottest replay kernels" in out
+        assert "F:matmul#12" in out
+        assert "0.0123s" in out
+
+    def test_top_kernels_limited_to_five(self, capsys):
+        many = {"profile": {"top_kernels": [
+            {"kernel": f"F:op#{i}", "seconds": 0.01 - i * 1e-3, "bytes": 0}
+            for i in range(8)]}}
+        compare_benchmarks.print_top_kernels(
+            {"b": {"extra_info": many}})
+        out = capsys.readouterr().out
+        assert "F:op#4" in out
+        assert "F:op#5" not in out
+
+    def test_no_top_kernels_no_section(self, capsys):
+        compare_benchmarks.print_top_kernels({"b": {"extra_info": {}}})
+        assert "Hottest" not in capsys.readouterr().out
