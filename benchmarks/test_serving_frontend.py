@@ -121,6 +121,15 @@ class TestFrontendTraceBenchmark:
             assert np.array_equal(got.embeddings, want.embeddings), (
                 f"{got.name}: socket embeddings drifted from in-process")
 
+        # The benchmark runs fault-free, so supervision must be pure
+        # overhead: any crash/retry/deadline here means the timing above
+        # measured recovery work, not the serving path.
+        fleet_stats = stats["fleet"]
+        assert fleet_stats["crashes"] == 0
+        assert fleet_stats["retries"] == 0
+        assert fleet_stats["failed_batches"] == 0
+        assert stats["deadline_failures"] == 0
+
         latency = stats["latency"]
         benchmark.extra_info["frontend"] = {
             "served": stats["served"],
@@ -128,6 +137,15 @@ class TestFrontendTraceBenchmark:
             "regions_per_sec": stats["regions_per_sec"],
             "latency": latency,
             "record_epochs": stats["fleet"]["record_epochs"],
+            # Night-over-night evidence that the supervised fleet stayed
+            # healthy while the latency gauges were taken.
+            "supervision": {
+                "crashes": fleet_stats["crashes"],
+                "retries": fleet_stats["retries"],
+                "respawns": fleet_stats["respawns"],
+                "failed_batches": fleet_stats["failed_batches"],
+                "deadline_failures": stats["deadline_failures"],
+            },
         }
         print(f"\nfrontend trace: {stats['served']} requests, "
               f"{stats['regions_per_sec']:.0f} regions/s, "

@@ -125,6 +125,11 @@ def main() -> None:
     print(f"  fleet: {stats['fleet']['n_workers']} workers, "
           f"{stats['fleet']['dispatched']} batches dispatched, "
           f"record epochs paid: {stats['fleet']['record_epochs']}")
+    print(f"  supervision: {stats['fleet']['live']}/"
+          f"{stats['fleet']['n_workers']} live, "
+          f"{stats['fleet']['crashes']} crashes, "
+          f"{stats['fleet']['retries']} retries, "
+          f"{stats['fleet']['respawns']} respawns")
     assert stats["fleet"]["record_epochs"] == 0, "warm path recorded!"
     identical = all(np.array_equal(got.embeddings, want.embeddings)
                     for got, want in zip(responses, reference))

@@ -19,9 +19,16 @@ The production-facing API over everything the execution engine
   and p50/p99 latency accounting, dispatching scheduler co-batches to
 - :class:`ServingFleet` — N worker processes, each holding a resident
   service warmed from a shared :class:`WarmupPack` (zero record epochs
-  on start, plan caches preserved across graceful restarts);
+  on start, plan caches preserved across graceful restarts), under a
+  supervisor that detects crashes, retries the exact lost batches and
+  respawns dead workers against the same pack;
 - :class:`AdmissionError` — the typed submit-time rejection
-  (``oversize`` / ``view_mismatch`` / ``overload``);
+  (``oversize`` / ``view_mismatch`` / ``overload``) — and
+  :class:`ServingUnavailable`, its post-admission counterpart (fleet
+  down, retries exhausted, deadline missed);
+- :class:`FaultPlan` — the deterministic fault-injection harness the
+  chaos tests drive (kill/delay/fail selected batches in selected
+  workers);
 - :func:`serving_scheduler_report` — the throughput benchmark payload
   (uniform traffic vs the direct batched path, ragged traffic vs
   sequential serving).
@@ -38,12 +45,14 @@ from .api import (
     EmbedResponse,
     EmbedTicket,
     FlushPolicy,
+    ServingUnavailable,
     default_bucket_edges,
     request_from_wire,
     request_to_wire,
     response_from_wire,
     response_to_wire,
 )
+from .faults import FaultPlan, FaultSpec, InjectedFault
 from .fleet import FleetResult, ServingFleet
 from .frontend import FrontendClient, FrontendThread, ServingFrontend
 from .report import serving_scheduler_report
@@ -57,6 +66,7 @@ __all__ = [
     "EmbedResponse",
     "EmbedTicket",
     "FlushPolicy",
+    "ServingUnavailable",
     "default_bucket_edges",
     "request_from_wire",
     "request_to_wire",
@@ -65,6 +75,9 @@ __all__ = [
     "BucketKey",
     "ShapeBucketScheduler",
     "EmbeddingService",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "FleetResult",
     "ServingFleet",
     "FrontendClient",

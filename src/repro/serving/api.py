@@ -44,6 +44,7 @@ __all__ = [
     "EmbedResponse",
     "EmbedTicket",
     "FlushPolicy",
+    "ServingUnavailable",
     "default_bucket_edges",
     "request_from_wire",
     "request_to_wire",
@@ -77,6 +78,32 @@ class AdmissionError(ValueError):
                  retry_after: float | None = None):
         super().__init__(message)
         self.reason = reason
+        self.retry_after = retry_after
+
+
+class ServingUnavailable(RuntimeError):
+    """A request that was *admitted* but could not be served.
+
+    The typed counterpart of :class:`AdmissionError` for failures that
+    happen after the admission gates: the fleet is fully down (no live
+    worker and no respawn budget), a dispatched batch exhausted its
+    retry attempts, a batch missed its deadline, or the frontend was
+    stopped with the request still in flight.  Unlike an admission
+    rejection nothing about the *request* is wrong — the same request
+    retried against a healthy deployment serves bit-identically (the
+    exact-recovery guarantee the chaos tests assert).
+
+    ``retry_after`` is the load-shedding-style hint: a float when the
+    condition is expected to clear (a respawn is in flight, the batch
+    deadline passed but the fleet is alive), ``None`` when the
+    deployment is gone for good.  It travels the wire as the
+    ``"unavailable"`` error tag, which
+    :class:`~repro.serving.frontend.FrontendClient` turns back into
+    this exception (and optionally retries with backoff).
+    """
+
+    def __init__(self, message: str, *, retry_after: float | None = None):
+        super().__init__(message)
         self.retry_after = retry_after
 
 

@@ -1,0 +1,153 @@
+"""Deterministic fault injection for the serving fleet.
+
+Compiled-plan embedding is fully deterministic, so every failure mode
+the fleet supervisor handles — a worker killed mid-batch, a batch that
+raises, a batch that stalls — is *safely re-executable*: retrying a
+lost batch cannot change any answer.  Proving that in tests needs the
+failures themselves to be deterministic, which is what a
+:class:`FaultPlan` provides: a picklable list of :class:`FaultSpec`
+triggers threaded through :func:`repro.serving.fleet._worker_main` (and
+re-threaded into every worker the supervisor respawns), each firing at
+an exact, replayable point in the serving schedule instead of at the
+whim of a ``kill`` from a racing shell.
+
+Three fault kinds cover the failure matrix:
+
+- ``"kill"`` — the worker process dies abruptly (``SIGKILL`` to
+  itself: no cleanup, no goodbye — the same observable as an OOM kill
+  or segfault).  ``when="before"`` kills with the batch claimed but
+  unserved (the supervisor must requeue it); ``when="after"`` kills
+  once the result is already on the queue (respawn without retry).
+- ``"delay"`` — the worker sleeps ``seconds`` before (or after)
+  serving the batch: the deterministic stand-in for a straggler, used
+  to exercise the frontend's per-batch deadline.
+- ``"fail"`` — the worker raises :class:`InjectedFault` instead of
+  serving: the typed application-level failure, exercising the
+  bounded-retry path without killing anything.
+
+Selectors (``worker_id`` / ``batch_id`` / ``task_index`` / ``attempt``)
+are conjunctive; ``None`` matches anything.  ``attempt`` defaults to
+``1`` so a fault fires only on a batch's *first* execution — the retry
+of the very batch it broke then runs clean, which is what makes
+kill/retry tests converge instead of kill-looping.  (A respawned worker
+receives a fresh copy of the plan, so one-shot behavior cannot live in
+mutable plan state; it lives in the attempt selector.)
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["FaultPlan", "FaultSpec", "InjectedFault"]
+
+_KINDS = ("kill", "delay", "fail")
+_WHENS = ("before", "after")
+
+
+class InjectedFault(RuntimeError):
+    """The exception a ``"fail"`` fault raises inside the worker."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic trigger (see module docstring).
+
+    All selectors must match for the spec to fire; ``None`` selectors
+    match anything.  ``task_index`` is the worker-local 1-based count of
+    tasks it has taken off the queue — the selector to use when the
+    batch→worker assignment is what the test controls (single-worker
+    fleets), while ``batch_id`` selects the frontend's global dispatch
+    id regardless of which worker picks it up.
+    """
+
+    kind: str
+    worker_id: int | None = None
+    batch_id: int | None = None
+    task_index: int | None = None
+    attempt: int | None = 1
+    when: str = "before"
+    seconds: float = 0.0
+    message: str = "injected fault"
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"fault kind must be one of {_KINDS}, "
+                             f"got {self.kind!r}")
+        if self.when not in _WHENS:
+            raise ValueError(f"fault when must be one of {_WHENS}, "
+                             f"got {self.when!r}")
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+
+    def matches(self, worker_id: int, batch_id: int, task_index: int,
+                attempt: int, when: str) -> bool:
+        return (self.when == when
+                and (self.worker_id is None or self.worker_id == worker_id)
+                and (self.batch_id is None or self.batch_id == batch_id)
+                and (self.task_index is None
+                     or self.task_index == task_index)
+                and (self.attempt is None or self.attempt == attempt))
+
+
+@dataclass
+class FaultPlan:
+    """An ordered, picklable set of :class:`FaultSpec` triggers.
+
+    Built fluently (each helper returns the plan)::
+
+        plan = (FaultPlan()
+                .delay(batch_id=2, seconds=0.1)
+                .kill(batch_id=3))           # whoever serves batch 3 dies
+
+    The plan crosses the process boundary at worker spawn (and respawn)
+    time, so it must stay a plain picklable value — no callables.
+    """
+
+    specs: list[FaultSpec] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        self.specs.append(spec)
+        return self
+
+    def kill(self, **selectors) -> "FaultPlan":
+        """Die abruptly (self-``SIGKILL``) at the selected point."""
+        return self.add(FaultSpec("kill", **selectors))
+
+    def delay(self, seconds: float, **selectors) -> "FaultPlan":
+        """Sleep ``seconds`` at the selected point (the straggler)."""
+        return self.add(FaultSpec("delay", seconds=seconds, **selectors))
+
+    def fail(self, message: str = "injected fault",
+             **selectors) -> "FaultPlan":
+        """Raise :class:`InjectedFault` instead of serving the batch."""
+        return self.add(FaultSpec("fail", message=message, **selectors))
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    # ------------------------------------------------------------------
+    def apply(self, worker_id: int, batch_id: int, task_index: int,
+              attempt: int, when: str) -> None:
+        """Fire every matching spec, in plan order.
+
+        Called inside the worker process around each task.  Delays
+        sleep, fails raise, kills never return — a kill is delivered as
+        ``SIGKILL`` to the worker's own pid, exactly the observable of
+        an external ``kill -9``.
+        """
+        for spec in self.specs:
+            if not spec.matches(worker_id, batch_id, task_index,
+                                attempt, when):
+                continue
+            if spec.kind == "delay":
+                time.sleep(spec.seconds)
+            elif spec.kind == "fail":
+                raise InjectedFault(
+                    f"{spec.message} (worker {worker_id}, batch {batch_id}, "
+                    f"attempt {attempt})")
+            else:   # kill
+                os.kill(os.getpid(), signal.SIGKILL)

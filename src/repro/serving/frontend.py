@@ -59,6 +59,7 @@ import itertools
 import json
 import socket
 import threading
+import time
 from collections import deque
 from typing import Sequence
 
@@ -68,6 +69,7 @@ from .api import (
     EmbedResponse,
     EmbedTicket,
     FlushPolicy,
+    ServingUnavailable,
     request_from_wire,
     request_to_wire,
     response_from_wire,
@@ -139,6 +141,22 @@ class ServingFrontend:
     max_queue_depth:
         Per-bucket admission bound; beyond it new requests for that
         bucket are shed with ``retry_after`` = ``policy.max_wait``.
+        The bound **degrades with the fleet**: when only ``k`` of
+        ``n_workers`` workers are live the effective depth is scaled by
+        ``k / n_workers`` (min 1), so a degraded deployment sheds
+        earlier instead of queueing work it has lost the capacity to
+        drain; with zero live workers admission raises a typed
+        :class:`ServingUnavailable` instead.
+    batch_deadline:
+        Wall-clock bound on one dispatched batch, dispatch→result.  A
+        batch that misses it (worker wedged, straggler, silent loss)
+        has its waiters failed with :class:`ServingUnavailable` and is
+        dropped from fleet supervision — **no frontend future can hang
+        forever**, whatever happens below.
+    drain_timeout:
+        How long :meth:`stop` waits for queued and in-flight work
+        before failing the remaining futures typed (the
+        no-pending-future-leak guarantee on shutdown).
     host, port:
         Bind address; ``port=0`` picks an ephemeral port (read
         :attr:`port` after :meth:`start`).
@@ -156,6 +174,8 @@ class ServingFrontend:
                  view_names: Sequence[str] | None = None,
                  policy: FlushPolicy | None = None,
                  max_queue_depth: int = 64,
+                 batch_deadline: float = 60.0,
+                 drain_timeout: float = 30.0,
                  host: str = "127.0.0.1", port: int = 0,
                  max_line_bytes: int = 64 * 1024 * 1024):
         self.fleet = fleet
@@ -166,7 +186,12 @@ class ServingFrontend:
         if max_queue_depth < 1:
             raise ValueError(f"max_queue_depth must be >= 1, "
                              f"got {max_queue_depth}")
+        if batch_deadline <= 0:
+            raise ValueError(f"batch_deadline must be > 0, "
+                             f"got {batch_deadline}")
         self.max_queue_depth = max_queue_depth
+        self.batch_deadline = batch_deadline
+        self.drain_timeout = drain_timeout
         self.host = host
         self.port = port
         self.max_line_bytes = int(max_line_bytes)
@@ -175,11 +200,13 @@ class ServingFrontend:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._flush_task: asyncio.Task | None = None
         self._pump_thread: threading.Thread | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
         self._closing = False
         self._batch_ids = itertools.count(1)
-        #: batch_id -> tickets, in the dispatched order (the worker's
-        #: service.run returns responses in that same order).
-        self._inflight: dict[int, list[EmbedTicket]] = {}
+        #: batch_id -> (tickets in dispatched order — the worker's
+        #: service.run returns responses in that same order — and the
+        #: loop-clock instant the batch's deadline expires).
+        self._inflight: dict[int, tuple[list[EmbedTicket], float]] = {}
         #: request_id -> future resolved with an EmbedResponse (or an
         #: exception) when the dispatched batch comes back.
         self._waiters: dict[int, asyncio.Future] = {}
@@ -188,6 +215,8 @@ class ServingFrontend:
         self.shed = 0
         self.rejected = 0
         self.errors = 0
+        self.unavailable = 0
+        self.deadline_failures = 0
         self.regions = 0
         self._first_request_at: float | None = None
         self._last_response_at: float | None = None
@@ -227,14 +256,61 @@ class ServingFrontend:
                     f"in flight")
             await asyncio.sleep(0.005)
 
+    def _fail_pending(self, message: str,
+                      retry_after: float | None = None) -> int:
+        """Resolve every queued or in-flight request with a typed
+        :class:`ServingUnavailable` — the anti-hang backstop used by
+        :meth:`stop` (and the deadline path for single batches).  A
+        future that never resolves leaves the client blocked until its
+        socket timeout; failing it typed lets the client retry against
+        the next deployment."""
+        failed = 0
+        # Queued but never dispatched: pull them out of the scheduler.
+        for key in list(self._scheduler.nonempty_buckets()):
+            while True:
+                tickets = self._scheduler.take(key)
+                if not tickets:
+                    break
+                failed += self._fail_tickets(tickets, message, retry_after)
+        # Dispatched, still in flight: forget them in the fleet too so a
+        # late result is discarded instead of resolving a dead future.
+        for batch_id, (tickets, _) in list(self._inflight.items()):
+            self._inflight.pop(batch_id, None)
+            self.fleet.forget(batch_id)
+            failed += self._fail_tickets(tickets, message, retry_after)
+        return failed
+
+    def _fail_tickets(self, tickets, message: str,
+                      retry_after: float | None) -> int:
+        failed = 0
+        for ticket in tickets:
+            future = self._waiters.get(ticket.request.request_id)
+            if future is not None and not future.done():
+                future.set_exception(
+                    ServingUnavailable(message, retry_after=retry_after))
+                failed += 1
+        return failed
+
     async def stop(self, stop_fleet: bool = True) -> None:
-        """Graceful shutdown: drain, close the server, stop the pump
-        (and the fleet).  Workers' on-disk plan caches are preserved —
-        a restarted frontend+fleet on the same pack directory serves
-        the same traffic with zero record epochs."""
+        """Graceful shutdown: drain (bounded by ``drain_timeout``),
+        fail whatever could not drain with a typed
+        :class:`ServingUnavailable` — never leave a pending future
+        unresolved — then close the server, stop the pump (and the
+        fleet).  Workers' on-disk plan caches are preserved — a
+        restarted frontend+fleet on the same pack directory serves the
+        same traffic with zero record epochs."""
         if self._server is None:
             return
-        await self.drain()
+        try:
+            await self.drain(timeout=self.drain_timeout)
+        except TimeoutError:
+            pass
+        if self._fail_pending("frontend stopped with the request "
+                              "still in flight"):
+            # Give the per-request handler tasks one tick to pick the
+            # failures up and write their typed error replies before the
+            # listener goes away.  (They bump errors/unavailable.)
+            await asyncio.sleep(0)
         self._closing = True
         if self._flush_task is not None:
             self._flush_task.cancel()
@@ -246,6 +322,14 @@ class ServingFrontend:
         self._server.close()
         await self._server.wait_closed()
         self._server = None
+        # Close lingering connections so their handler coroutines finish
+        # before the loop is torn down (transports flush buffered replies
+        # on close — a typed shutdown error already written still lands).
+        for conn_writer in list(self._connections):
+            conn_writer.close()
+        deadline = self._loop.time() + 1.0
+        while self._connections and self._loop.time() < deadline:
+            await asyncio.sleep(0.005)
         if self._pump_thread is not None:
             await self._loop.run_in_executor(None, self._pump_thread.join)
             self._pump_thread = None
@@ -260,6 +344,7 @@ class ServingFrontend:
                                  writer: asyncio.StreamWriter) -> None:
         write_lock = asyncio.Lock()
         tasks: set[asyncio.Task] = set()
+        self._connections.add(writer)
 
         async def answer(payload: dict) -> None:
             reply = await self._dispatch_op(payload)
@@ -273,6 +358,8 @@ class ServingFrontend:
             while True:
                 try:
                     line = await reader.readline()
+                except (ConnectionError, OSError):
+                    break
                 except ValueError:
                     # Line overran max_line_bytes; the stream cannot
                     # resynchronize mid-line — reply typed and close.
@@ -309,6 +396,7 @@ class ServingFrontend:
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
         finally:
+            self._connections.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -350,6 +438,11 @@ class ServingFrontend:
                 self.rejected += 1
             return {"ok": False, "error": exc.reason, "message": str(exc),
                     "retry_after": exc.retry_after}
+        except ServingUnavailable as exc:
+            self.unavailable += 1
+            self.errors += 1
+            return {"ok": False, "error": "unavailable",
+                    "message": str(exc), "retry_after": exc.retry_after}
         if self._first_request_at is None:
             self._first_request_at = received_at
         ticket = EmbedTicket(request, "", received_at)
@@ -361,6 +454,11 @@ class ServingFrontend:
             self._dispatch(key)
         try:
             response: EmbedResponse = await future
+        except ServingUnavailable as exc:
+            self.errors += 1
+            self.unavailable += 1
+            return {"ok": False, "error": "unavailable",
+                    "message": str(exc), "retry_after": exc.retry_after}
         except Exception as exc:
             self.errors += 1
             return {"ok": False, "error": "worker_failure",
@@ -380,6 +478,28 @@ class ServingFrontend:
                                    - response.compute_seconds)
         wire["latency_seconds"] = latency
         return wire
+
+    def _effective_queue_depth(self) -> int:
+        """The per-bucket admission bound, degraded with fleet health.
+
+        With ``k < n_workers`` live workers the deployment's drain rate
+        has dropped by ``k / n_workers``; scaling the depth bound by the
+        same factor sheds the excess at admission (with a retry hint)
+        instead of queueing work the degraded fleet would serve late.
+        Raises :class:`ServingUnavailable` when nothing is live: with a
+        respawn possibly in flight it carries a ``retry_after`` hint,
+        fully down it is terminal (``retry_after=None``).
+        """
+        if not self.fleet.started or self.fleet.fully_down:
+            raise ServingUnavailable(
+                "the serving fleet has no live workers and no respawn "
+                "budget left", retry_after=None)
+        live = self.fleet.live_workers()
+        if live == 0:
+            raise ServingUnavailable(
+                "the serving fleet has no live workers (respawn pending)",
+                retry_after=self.policy.max_wait)
+        return max(1, (self.max_queue_depth * live) // self.fleet.n_workers)
 
     def _admit(self, request: EmbedRequest) -> None:
         """The service's submit-time gates plus the queue-depth bound."""
@@ -402,10 +522,15 @@ class ServingFrontend:
                 f"request views {request.views.names} != serving views "
                 f"{self.view_names}", reason="view_mismatch")
         key = self._scheduler.key_for_request(request)   # oversize gate too
-        if self._scheduler.depth(key) >= self.max_queue_depth:
+        depth_cap = self._effective_queue_depth()
+        if self._scheduler.depth(key) >= depth_cap:
+            degraded = "" if depth_cap == self.max_queue_depth else \
+                f" (degraded from {self.max_queue_depth}: " \
+                f"{self.fleet.live_workers()}/{self.fleet.n_workers} " \
+                f"workers live)"
             raise AdmissionError(
                 f"bucket {key.bucket_id} is at its queue-depth limit "
-                f"({self.max_queue_depth}); retry after the next flush",
+                f"({depth_cap}){degraded}; retry after the next flush",
                 reason="overload", retry_after=self.policy.max_wait)
 
     # ------------------------------------------------------------------
@@ -416,18 +541,38 @@ class ServingFrontend:
         if not tickets:
             return
         batch_id = next(self._batch_ids)
-        self._inflight[batch_id] = tickets
+        self._inflight[batch_id] = (tickets,
+                                    self._loop.time() + self.batch_deadline)
         self.fleet.submit(batch_id, [t.request for t in tickets])
 
     async def _flush_loop(self) -> None:
         """Age-based flushing: what ``poll()`` does for the in-process
-        service, a background task does here."""
+        service, a background task does here.  Doubles as the deadline
+        watchdog over dispatched batches."""
         interval = max(min(self.policy.max_wait / 2, 0.05), 0.001)
+        interval = min(interval, max(self.batch_deadline / 4, 0.001))
         while True:
             await asyncio.sleep(interval)
             now = self._loop.time()
             for key in self._scheduler.overdue_buckets(now):
                 self._dispatch(key)
+            self._expire_deadlines(now)
+
+    def _expire_deadlines(self, now: float) -> None:
+        """Fail (typed) every in-flight batch past its deadline.  The
+        batch is also forgotten in the fleet: a worker that eventually
+        answers it finds nobody waiting, and a crash can no longer
+        requeue it — deadline expiry is terminal for that dispatch."""
+        for batch_id, (tickets, deadline_at) in list(self._inflight.items()):
+            if now < deadline_at:
+                continue
+            self._inflight.pop(batch_id, None)
+            self.fleet.forget(batch_id)
+            self.deadline_failures += 1
+            self._fail_tickets(
+                tickets,
+                f"batch {batch_id} missed its {self.batch_deadline}s "
+                f"deadline", retry_after=self.policy.max_wait)
 
     def _pump_results(self) -> None:
         """Blocking thread: drain the fleet's result queue into the
@@ -443,16 +588,16 @@ class ServingFrontend:
             self._loop.call_soon_threadsafe(self._deliver, result)
 
     def _deliver(self, result) -> None:
-        tickets = self._inflight.pop(result.batch_id, None)
-        if tickets is None:   # pragma: no cover - defensive
+        entry = self._inflight.pop(result.batch_id, None)
+        if entry is None:   # late result of a deadline-expired batch
             return
+        tickets, _ = entry
         if result.error is not None:
-            for ticket in tickets:
-                future = self._waiters.get(ticket.request.request_id)
-                if future is not None and not future.done():
-                    future.set_exception(
-                        RuntimeError(f"worker {result.worker_id} failed:\n"
-                                     f"{result.error}"))
+            # Terminal: the supervisor already spent the batch's retry
+            # attempts — surface the typed exhaustion to every waiter.
+            self._fail_tickets(
+                tickets, f"batch {result.batch_id} exhausted its retries:\n"
+                         f"{result.error}", retry_after=self.policy.max_wait)
             return
         # service.run preserves submission order, which is exactly the
         # order the batch was dispatched in.
@@ -474,11 +619,16 @@ class ServingFrontend:
             elapsed = self._last_response_at - self._first_request_at
         depths = {key.bucket_id: self._scheduler.depth(key)
                   for key in self._scheduler.nonempty_buckets()}
+        supervision = self.fleet.supervision_report()
         return {
             "served": self.served,
             "shed": self.shed,
             "rejected": self.rejected,
             "errors": self.errors,
+            "unavailable": self.unavailable,
+            "deadline_failures": self.deadline_failures,
+            "batch_deadline": self.batch_deadline,
+            "degraded": supervision["live"] < self.fleet.n_workers,
             "pending": self._scheduler.pending,
             "inflight_batches": len(self._inflight),
             "queue_depths": depths,
@@ -492,6 +642,7 @@ class ServingFrontend:
                 "dispatched": self.fleet.dispatched,
                 "record_epochs": self.fleet.total_record_epochs(),
                 "alive": self.fleet.alive(),
+                **supervision,
             },
         }
 
@@ -561,16 +712,74 @@ class FrontendClient:
     scheduler sees the burst at once and co-batches it exactly as the
     in-process service would.  Replies (which may interleave) are
     matched back by ``id`` and returned in submission order.
+
+    Retry (:meth:`embed` only — a pipelined burst has no single point
+    to retry from): with ``retries > 0`` the client honours the typed
+    transient failures instead of surfacing them —
+
+    - ``overload`` sheds sleep out the server's ``retry_after`` hint
+      (falling back to the exponential backoff when absent) and
+      resubmit;
+    - ``unavailable`` replies (fleet down, batch retry exhaustion,
+      deadline) back off and resubmit — safe because serving is
+      deterministic, so a retried request cannot change its answer;
+    - a dropped/refused connection backs off, **reconnects** and
+      resubmits (the frontend may be mid-restart).
+
+    Permanent rejections (``oversize``, ``view_mismatch``,
+    ``bad_request``) are never retried.  Backoff starts at ``backoff``
+    seconds and doubles per attempt up to ``max_backoff``.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 120.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._rfile = self._sock.makefile("rb")
+    def __init__(self, host: str, port: int, timeout: float = 120.0,
+                 retries: int = 0, backoff: float = 0.05,
+                 max_backoff: float = 2.0):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff < 0 or max_backoff < backoff:
+            raise ValueError(f"need 0 <= backoff <= max_backoff, got "
+                             f"{backoff}/{max_backoff}")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self._sock = None
+        self._rfile = None
         self._ids = itertools.count(1)
+        self._connect()
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        self._sock = socket.create_connection((self.host, self.port),
+                                              timeout=self.timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    @property
+    def closed(self) -> bool:
+        return self._sock is None
 
     def close(self) -> None:
-        self._rfile.close()
-        self._sock.close()
+        """Release the socket.  Idempotent, and safe to call on a
+        connection the server already dropped."""
+        for handle in (self._rfile, self._sock):
+            if handle is not None:
+                try:
+                    handle.close()
+                except OSError:   # pragma: no cover - already dead
+                    pass
+        self._rfile = None
+        self._sock = None
+
+    def reconnect(self) -> None:
+        """Drop the current socket (if any) and dial the frontend
+        again — the recovery step after a ``ServingUnavailable`` from a
+        bounced deployment."""
+        self.close()
+        self._connect()
 
     def __enter__(self) -> "FrontendClient":
         return self
@@ -580,9 +789,13 @@ class FrontendClient:
 
     # ------------------------------------------------------------------
     def _send(self, payload: dict) -> None:
+        if self._sock is None:
+            raise ConnectionError("client is closed (use reconnect())")
         self._sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
 
     def _recv(self) -> dict:
+        if self._rfile is None:
+            raise ConnectionError("client is closed (use reconnect())")
         line = self._rfile.readline()
         if not line:
             raise ConnectionError("frontend closed the connection")
@@ -601,17 +814,46 @@ class FrontendClient:
 
     @staticmethod
     def _raise(reply: dict) -> None:
+        if reply.get("error") == "unavailable":
+            raise ServingUnavailable(reply.get("message", "request failed"),
+                                     retry_after=reply.get("retry_after"))
         raise AdmissionError(reply.get("message", "request failed"),
                              reason=reply.get("error", "invalid"),
                              retry_after=reply.get("retry_after"))
 
-    def embed(self, request: EmbedRequest) -> EmbedResponse:
-        """Serve one request; sheds/rejections raise
-        :class:`AdmissionError` (``retry_after`` set on overload)."""
-        reply = self.call(request_to_wire(request))
-        if not reply.get("ok"):
-            self._raise(reply)
-        return response_from_wire(reply)
+    #: Error tags worth another attempt; everything else is permanent.
+    _TRANSIENT = ("overload", "unavailable", "worker_failure")
+
+    def embed(self, request: EmbedRequest,
+              retries: int | None = None) -> EmbedResponse:
+        """Serve one request (class docstring documents the retry
+        policy; ``retries`` overrides the client default).  Exhausted
+        or non-retried failures raise :class:`AdmissionError` /
+        :class:`ServingUnavailable`, connection loss
+        :class:`ConnectionError`."""
+        attempts = (self.retries if retries is None else retries) + 1
+        delay = self.backoff
+        wire = request_to_wire(request)
+        for attempt in range(attempts):
+            last = attempt + 1 >= attempts
+            try:
+                if self._sock is None:
+                    self._connect()
+                reply = self.call(wire)
+            except (ConnectionError, OSError):
+                self.close()
+                if last:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2, self.max_backoff)
+                continue
+            if reply.get("ok"):
+                return response_from_wire(reply)
+            if last or reply.get("error") not in self._TRANSIENT:
+                self._raise(reply)
+            time.sleep(reply.get("retry_after") or delay)
+            delay = min(delay * 2, self.max_backoff)
+        raise AssertionError("unreachable")   # pragma: no cover
 
     def embed_many(self, requests: Sequence[EmbedRequest],
                    on_error: str = "raise", flush: bool = True

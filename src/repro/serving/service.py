@@ -534,6 +534,18 @@ class EmbeddingService:
         return self._scheduler.pending if self._scheduler is not None else 0
 
     @property
+    def submitted(self) -> int:
+        """Requests ever accepted by :meth:`submit` (admission-rejected
+        ones never count)."""
+        return self._submitted
+
+    @property
+    def answered(self) -> int:
+        """Responses ever produced — the per-worker liveness/progress
+        counter each fleet result carries back to the supervisor."""
+        return self._answered
+
+    @property
     def flush_seq(self) -> int:
         """Total flushes ever performed (monotone; unlike
         ``len(flush_log)`` it never shrinks when the bounded log drops

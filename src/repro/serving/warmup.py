@@ -130,6 +130,19 @@ class WarmupPack:
         return cls(directory=directory, manifest=manifest)
 
     @classmethod
+    def exists(cls, directory: "str | os.PathLike") -> bool:
+        """Whether ``directory`` holds a loadable pack manifest.
+
+        The cheap pre-flight the fleet runs before spawning workers (and
+        the supervisor relies on when respawning them): a missing pack
+        should fail once, in the parent, with a clear message — not as
+        ``n_workers`` independent worker-start tracebacks, and never
+        first at respawn time when the original pack directory has been
+        deleted out from under a running fleet.
+        """
+        return (Path(directory) / _MANIFEST).exists()
+
+    @classmethod
     def load(cls, directory: "str | os.PathLike") -> "WarmupPack":
         directory = Path(directory)
         path = directory / _MANIFEST
