@@ -17,6 +17,9 @@ Public API overview
   requests/responses, an :class:`~repro.serving.EmbeddingService` with a
   shape-bucket scheduler over resident compiled plans, and deploy-time
   warm-up packs.
+- :mod:`repro.train` — crash-safe training: atomic checksummed
+  checkpoints with bit-identical resume, typed preemption/numerical
+  errors, and a deterministic training fault-injection harness.
 
 Quickstart
 ----------

@@ -56,6 +56,7 @@ from .losses import (
     pad_similarity_targets,
     pad_transition_probabilities,
 )
+from ..train.checkpoint import Checkpointer
 from .model import HAFusion
 from .trainer import (
     TrainingHistory,
@@ -414,9 +415,41 @@ class BatchedTrainer:
         return optimizer_step(self.optimizer, self.loss,
                               self.model.parameters(), self.config.grad_clip)
 
-    def train(self, epochs: int | None = None, log_every: int = 0) -> TrainingHistory:
+    def train(self, epochs: int | None = None, log_every: int = 0,
+              checkpoint_dir=None, checkpoint_every: int = 0,
+              resume: bool = False, checkpoint_keep: int = 3,
+              fault_plan=None,
+              check_numerics: bool = True) -> TrainingHistory:
+        """Train the shared model; crash-safe when ``checkpoint_dir`` is
+        given (same contract as :func:`~repro.core.trainer.train_model`:
+        atomic checkpoints every ``checkpoint_every`` epochs, ``resume=True``
+        continues bit-identically from the newest intact one)."""
         epochs = epochs if epochs is not None else self.config.epochs
-        return run_training_loop(self.step, epochs, log_every=log_every)
+        checkpointer = None
+        history = None
+        if checkpoint_dir is not None:
+            checkpointer = Checkpointer(self.model, self.optimizer,
+                                        checkpoint_dir,
+                                        every=checkpoint_every,
+                                        keep=checkpoint_keep,
+                                        fault_plan=fault_plan)
+            if resume:
+                history = checkpointer.resume()
+        elif resume:
+            raise ValueError("resume=True requires checkpoint_dir")
+        if (self._compiled_step is not None and history is not None
+                and history.losses and len(history.losses) < epochs):
+            # Warm-record + rewind (see train_model): the resumed epoch
+            # must execute as a plan replay, not the recording step.
+            self._compiled_step.run()
+            checkpointer.rewind()
+        named = (list(self.model.named_parameters())
+                 if check_numerics else None)
+        return run_training_loop(self.step, epochs, log_every=log_every,
+                                 history=history, checkpointer=checkpointer,
+                                 fault_plan=fault_plan,
+                                 named_parameters=named,
+                                 check_numerics=check_numerics)
 
     def embed(self) -> list[np.ndarray]:
         """Frozen per-city embeddings from the shared model."""

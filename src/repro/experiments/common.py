@@ -35,6 +35,7 @@ __all__ = [
     "MODEL_LABELS",
     "cache_dir",
     "use_compiled_training",
+    "checkpoint_settings",
 ]
 
 #: Canonical model ordering for tables (paper order).
@@ -124,11 +125,27 @@ def use_compiled_training() -> bool:
     return os.environ.get("REPRO_EAGER", "") != "1"
 
 
+def checkpoint_settings() -> tuple[str | None, int]:
+    """Crash-safety defaults for experiment training runs.
+
+    ``REPRO_CHECKPOINT_DIR`` names a directory to persist training
+    checkpoints under (per model/city sub-directories are created inside
+    it); ``REPRO_CHECKPOINT_EVERY`` sets the epoch interval (default 50
+    when a directory is set).  Unset directory = checkpointing off, the
+    zero-overhead default for short runs.
+    """
+    directory = os.environ.get("REPRO_CHECKPOINT_DIR") or None
+    every = int(os.environ.get("REPRO_CHECKPOINT_EVERY", "50") or 0)
+    return directory, every
+
+
 def compute_embeddings(model_name: str, city: SyntheticCity,
                        profile: str | ExperimentProfile = "quick",
                        use_cache: bool = True,
                        config_overrides: dict | None = None,
-                       compiled: bool | None = None) -> EmbeddingResult:
+                       compiled: bool | None = None,
+                       checkpoint_dir=None, checkpoint_every: int | None = None,
+                       resume: bool = True) -> EmbeddingResult:
     """Train (or load cached) embeddings for one model on one city.
 
     ``model_name`` is "hafusion", a baseline name, a ``<baseline>-dafusion``
@@ -137,6 +154,14 @@ def compute_embeddings(model_name: str, city: SyntheticCity,
     (``compiled=None`` defers to :func:`use_compiled_training`); the mode
     is part of the cache key so eager and compiled runs never share
     cached embeddings.
+
+    ``checkpoint_dir`` / ``checkpoint_every`` / ``resume`` make the
+    HAFusion training run crash-safe (see
+    :mod:`repro.train.checkpoint`); they default to the
+    ``REPRO_CHECKPOINT_DIR`` / ``REPRO_CHECKPOINT_EVERY`` environment,
+    so long experiment sweeps become resumable without code changes.
+    Checkpoints land in a per-run sub-directory keyed like the embedding
+    cache, so different models/cities/profiles never share checkpoints.
 
     .. deprecated::
         The embedding production at the end is a thin shim over
@@ -163,6 +188,18 @@ def compute_embeddings(model_name: str, city: SyntheticCity,
         extra["embed"] = "service"
     key = _cache_key(model_name, city, profile.seed, epochs, extra)
     cache_file = cache_dir() / f"{model_name}-{city.name}-{key}.npz"
+    if checkpoint_dir is None:
+        checkpoint_dir, env_every = checkpoint_settings()
+        if checkpoint_every is None:
+            checkpoint_every = env_every
+    if checkpoint_every is None:
+        checkpoint_every = 50
+    run_checkpoint_dir = None
+    if checkpoint_dir is not None and is_hafusion:
+        # Keyed like the embedding cache: a checkpoint can only ever be
+        # resumed by the exact run configuration that wrote it.
+        run_checkpoint_dir = (Path(checkpoint_dir)
+                              / f"{model_name}-{city.name}-{key}")
     if use_cache and cache_file.exists():
         payload = np.load(cache_file)
         return EmbeddingResult(model_name, city.name, payload["embeddings"],
@@ -181,7 +218,12 @@ def compute_embeddings(model_name: str, city: SyntheticCity,
             config = HAFusionConfig.for_city(city.name, epochs=epochs, **overrides)
             model, _history = train_hafusion(city, config, seed=profile.seed,
                                              view_names=view_names,
-                                             compiled=compiled)
+                                             compiled=compiled,
+                                             checkpoint_dir=run_checkpoint_dir,
+                                             checkpoint_every=checkpoint_every,
+                                             resume=(resume and
+                                                     run_checkpoint_dir
+                                                     is not None))
             views = city.views()
             if view_names is not None:
                 views = views.subset(view_names)

@@ -108,18 +108,39 @@ class Module:
         """Copy of every parameter array keyed by dotted name."""
         return {name: param.data.copy() for name, param in self.named_parameters()}
 
-    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        """Load parameter arrays produced by :meth:`state_dict`."""
+    def load_state_dict(self, state: dict[str, np.ndarray],
+                        in_place: bool = False) -> None:
+        """Load parameter arrays produced by :meth:`state_dict`.
+
+        ``in_place=True`` copies each value *into* the existing
+        ``param.data`` array (``np.copyto``) instead of rebinding it —
+        required when a compiled plan (:mod:`repro.nn.compile`) has
+        adopted the parameter arrays as replay buffers: restoring a
+        checkpoint must not invalidate the plan.  In-place loading
+        additionally demands an exact dtype match (a silent cast would
+        break bit-identical resume).
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
         if missing or unexpected:
             raise KeyError(f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
         for name, param in own.items():
-            value = np.asarray(state[name], dtype=param.data.dtype)
+            if in_place:
+                value = np.asarray(state[name])
+                if value.dtype != param.data.dtype:
+                    raise ValueError(
+                        f"dtype mismatch for {name}: {value.dtype} vs "
+                        f"{param.data.dtype} (in-place load requires exact "
+                        f"dtype)")
+            else:
+                value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.shape:
                 raise ValueError(f"shape mismatch for {name}: {value.shape} vs {param.shape}")
-            param.data = value.copy()
+            if in_place:
+                np.copyto(param.data, value)
+            else:
+                param.data = value.copy()
 
 
 class Sequential(Module):

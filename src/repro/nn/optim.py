@@ -64,7 +64,16 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
 
 
 class Optimizer:
-    """Base optimizer: holds parameters and implements ``zero_grad``."""
+    """Base optimizer: holds parameters and implements ``zero_grad``.
+
+    Subclasses carry *scratch state* (Adam moments, SGD momentum) that a
+    resumable training run must persist: :meth:`state_dict` /
+    :meth:`load_state_dict` round-trip exactly that state.  Restoring is
+    **in place** (``np.copyto`` into the existing moment buffers, never a
+    rebind): the compiled executor's folded update kernels capture those
+    arrays by reference at fold time (:func:`repro.nn.compile.Plan.fuse_optimizer`),
+    so a live plan keeps replaying correctly after a restore.
+    """
 
     def __init__(self, parameters: Iterable[Parameter]):
         self.parameters = list(parameters)
@@ -77,6 +86,67 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the optimizer's scratch state.
+
+        Hyper-parameters are included so :meth:`load_state_dict` can
+        refuse a checkpoint that was trained under different settings —
+        a silently different ``lr`` would resume onto a *different*
+        trajectory, defeating the bit-identical-resume contract.
+        """
+        return {"type": type(self).__name__,
+                "hyper": self._hyper_state(),
+                "buffers": {name: [b.copy() for b in bufs]
+                            for name, bufs in self._state_buffers().items()},
+                "step_count": getattr(self, "_step_count", 0)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot, in place.
+
+        Raises ``ValueError`` on optimizer-type, hyper-parameter, buffer
+        count/shape or dtype mismatches instead of loading a state that
+        cannot continue the original trajectory.
+        """
+        if state.get("type") != type(self).__name__:
+            raise ValueError(f"optimizer state is for {state.get('type')!r}, "
+                             f"this optimizer is {type(self).__name__}")
+        if state.get("hyper") != self._hyper_state():
+            raise ValueError(
+                f"optimizer hyper-parameters changed: checkpoint has "
+                f"{state.get('hyper')}, optimizer has {self._hyper_state()}")
+        own = self._state_buffers()
+        saved = state.get("buffers", {})
+        if set(saved) != set(own):
+            raise ValueError(f"optimizer state buffers mismatch: "
+                             f"{sorted(saved)} vs {sorted(own)}")
+        for name, bufs in own.items():
+            values = saved[name]
+            if len(values) != len(bufs):
+                raise ValueError(
+                    f"optimizer state {name!r} holds {len(values)} buffers, "
+                    f"expected {len(bufs)}")
+            for buf, value in zip(bufs, values):
+                value = np.asarray(value)
+                if value.shape != buf.shape or value.dtype != buf.dtype:
+                    raise ValueError(
+                        f"optimizer state {name!r} buffer is "
+                        f"{value.dtype}{value.shape}, expected "
+                        f"{buf.dtype}{buf.shape}")
+                np.copyto(buf, value)
+        if hasattr(self, "_step_count"):
+            self._step_count = int(state.get("step_count", 0))
+
+    def _hyper_state(self) -> dict:
+        """Hyper-parameters baked into the update arithmetic."""
+        return {}
+
+    def _state_buffers(self) -> dict[str, list[np.ndarray]]:
+        """Named lists of per-parameter scratch arrays to persist.
+        Pure scratch (overwritten before every read, like Adam's s1/s2)
+        is deliberately absent — it carries no cross-step state."""
+        return {}
 
 
 class SGD(Optimizer):
@@ -91,6 +161,13 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _hyper_state(self) -> dict:
+        return {"lr": self.lr, "momentum": self.momentum,
+                "weight_decay": self.weight_decay}
+
+    def _state_buffers(self) -> dict[str, list[np.ndarray]]:
+        return {"velocity": self._velocity}
 
     def step(self) -> None:
         for param, velocity in zip(self.parameters, self._velocity):
@@ -127,6 +204,14 @@ class Adam(Optimizer):
         # Two scratch buffers per parameter so one step allocates nothing.
         self._s1 = [np.empty_like(p.data) for p in self.parameters]
         self._s2 = [np.empty_like(p.data) for p in self.parameters]
+
+    def _hyper_state(self) -> dict:
+        return {"lr": self.lr, "betas": (self.beta1, self.beta2),
+                "eps": self.eps, "weight_decay": self.weight_decay}
+
+    def _state_buffers(self) -> dict[str, list[np.ndarray]]:
+        # s1/s2 are pure scratch: fully rewritten before every read.
+        return {"m": self._m, "v": self._v}
 
     def step(self) -> None:
         self._step_count += 1

@@ -36,6 +36,22 @@ _MANIFEST = "warmup_pack.json"
 _PACK_VERSION = 1
 
 
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` durably: temp file + fsync + ``os.replace``.
+
+    The manifest is the pack's validity marker (:meth:`WarmupPack.exists`
+    trusts its presence), so it must appear atomically — a crash
+    mid-build must leave either no manifest or a complete one, never a
+    partial file a later ``exists()`` check would treat as a valid pack.
+    """
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as f:
+        f.write(text)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
 def default_shape_grid(policy_max_batch: int,
                        bucket_edges: Sequence[int]) -> list[tuple[int, int]]:
     """The grid a scheduler's steady state exercises: full flushes of
@@ -126,7 +142,11 @@ class WarmupPack:
             "shapes": shapes,
         }
         directory.mkdir(parents=True, exist_ok=True)
-        (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+        # Specs were persisted by service.warm() above; the manifest
+        # lands last and atomically, so its presence implies a complete
+        # pack (exists() gates worker spawns on exactly this file).
+        _atomic_write_text(directory / _MANIFEST,
+                           json.dumps(manifest, indent=2))
         return cls(directory=directory, manifest=manifest)
 
     @classmethod

@@ -1,0 +1,38 @@
+"""Durable training: crash-safe checkpoints, bit-identical resume, and
+deterministic training-side fault injection.
+
+The training twin of :mod:`repro.serving`'s robustness layer (PR 8):
+:mod:`repro.train.checkpoint` makes training state survive ``kill -9``
+with atomic checksummed snapshots, and :mod:`repro.train.faults` scripts
+the exact crash a test asserts on.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpointer,
+    CheckpointError,
+    CheckpointStore,
+    NumericalError,
+    TrainingPreempted,
+    capture_rng_states,
+    read_checkpoint,
+    restore_rng_states,
+    write_checkpoint,
+)
+from .faults import InjectedTrainFault, TrainFaultPlan, TrainFaultSpec
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpointer",
+    "CheckpointError",
+    "CheckpointStore",
+    "NumericalError",
+    "TrainingPreempted",
+    "capture_rng_states",
+    "read_checkpoint",
+    "restore_rng_states",
+    "write_checkpoint",
+    "InjectedTrainFault",
+    "TrainFaultPlan",
+    "TrainFaultSpec",
+]

@@ -1,0 +1,149 @@
+"""Deterministic fault injection for the training loop.
+
+The training twin of :mod:`repro.serving.faults`: crash-safe training is
+only provable if tests can script the *exact* crash they assert on, so a
+:class:`TrainFaultPlan` threads a picklable list of :class:`TrainFaultSpec`
+triggers into :func:`repro.core.trainer.run_training_loop` (and into the
+checkpoint writer), each firing at a replayable point in the epoch
+schedule instead of at the whim of a racing ``kill`` from a shell.
+
+Four fault kinds cover the training failure matrix:
+
+- ``"kill"`` — the process dies abruptly (``SIGKILL`` to itself: no
+  cleanup, no goodbye — the same observable as an OOM kill or a
+  preemption without grace).  Everything since the last durable
+  checkpoint is lost; resume must reconstruct it bit-for-bit.
+- ``"preempt"`` — the process receives ``SIGTERM`` (itself, so the
+  delivery point is deterministic): the graceful-preemption signal the
+  loop's handler turns into checkpoint-and-exit
+  (:class:`repro.train.checkpoint.TrainingPreempted`).
+- ``"delay"`` — sleep ``seconds`` at the selected point: the
+  deterministic straggler, used by the smoke script to pin a run
+  mid-epoch so an *external* ``kill -9`` provably lands mid-training.
+- ``"fail"`` — raise :class:`InjectedTrainFault`: the typed
+  application-level crash, letting in-process tests lose un-checkpointed
+  state without killing the test runner.
+
+Selectors (``epoch`` / ``attempt``) are conjunctive; ``None`` matches
+anything.  ``epoch`` is the 1-based epoch being executed.  ``attempt``
+counts training runs over one checkpoint directory (first run = 1, each
+resume increments) and defaults to ``1`` so a fault fires only on the
+*first* attempt — the resumed run that replays the very epoch the fault
+broke then runs clean, which is what makes crash/resume tests converge
+instead of crash-looping.
+
+Fire points (``when``): ``"before_step"`` — the epoch's step has not run
+(everything since the last checkpoint is lost); ``"after_step"`` — the
+step completed but nothing was persisted yet; ``"mid_checkpoint"`` —
+inside :meth:`repro.train.checkpoint.CheckpointStore.save`, after the
+temp file is written and fsynced but *before* the atomic ``os.replace``
+— a kill there must leave the previous checkpoint intact (the atomicity
+guarantee under test).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["TrainFaultPlan", "TrainFaultSpec", "InjectedTrainFault"]
+
+_KINDS = ("kill", "preempt", "delay", "fail")
+_WHENS = ("before_step", "after_step", "mid_checkpoint")
+
+
+class InjectedTrainFault(RuntimeError):
+    """The exception a ``"fail"`` fault raises inside the training loop."""
+
+
+@dataclass(frozen=True)
+class TrainFaultSpec:
+    """One deterministic trigger (see module docstring)."""
+
+    kind: str
+    epoch: int | None = None
+    attempt: int | None = 1
+    when: str = "before_step"
+    seconds: float = 0.0
+    message: str = "injected training fault"
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"fault kind must be one of {_KINDS}, "
+                             f"got {self.kind!r}")
+        if self.when not in _WHENS:
+            raise ValueError(f"fault when must be one of {_WHENS}, "
+                             f"got {self.when!r}")
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+
+    def matches(self, epoch: int, attempt: int, when: str) -> bool:
+        return (self.when == when
+                and (self.epoch is None or self.epoch == epoch)
+                and (self.attempt is None or self.attempt == attempt))
+
+
+@dataclass
+class TrainFaultPlan:
+    """An ordered, picklable set of :class:`TrainFaultSpec` triggers.
+
+    Built fluently (each helper returns the plan)::
+
+        plan = (TrainFaultPlan()
+                .delay(epoch=3, seconds=0.2)
+                .kill(epoch=5))        # die before epoch 5's step runs
+
+    Plain picklable data — no callables — so a plan can cross a process
+    boundary into a subprocess training run unchanged.
+    """
+
+    specs: list[TrainFaultSpec] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def add(self, spec: TrainFaultSpec) -> "TrainFaultPlan":
+        self.specs.append(spec)
+        return self
+
+    def kill(self, **selectors) -> "TrainFaultPlan":
+        """Die abruptly (self-``SIGKILL``) at the selected point."""
+        return self.add(TrainFaultSpec("kill", **selectors))
+
+    def preempt(self, **selectors) -> "TrainFaultPlan":
+        """Deliver ``SIGTERM`` to self: the graceful-preemption path."""
+        return self.add(TrainFaultSpec("preempt", **selectors))
+
+    def delay(self, seconds: float, **selectors) -> "TrainFaultPlan":
+        """Sleep ``seconds`` at the selected point (the straggler)."""
+        return self.add(TrainFaultSpec("delay", seconds=seconds, **selectors))
+
+    def fail(self, message: str = "injected training fault",
+             **selectors) -> "TrainFaultPlan":
+        """Raise :class:`InjectedTrainFault` at the selected point."""
+        return self.add(TrainFaultSpec("fail", message=message, **selectors))
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    # ------------------------------------------------------------------
+    def apply(self, epoch: int, attempt: int, when: str) -> None:
+        """Fire every matching spec, in plan order.
+
+        Delays sleep, fails raise, preempts raise ``SIGTERM`` in-process
+        (the loop's handler sees exactly what a real preemption would
+        deliver), kills never return.
+        """
+        for spec in self.specs:
+            if not spec.matches(epoch, attempt, when):
+                continue
+            if spec.kind == "delay":
+                time.sleep(spec.seconds)
+            elif spec.kind == "fail":
+                raise InjectedTrainFault(
+                    f"{spec.message} (epoch {epoch}, attempt {attempt}, "
+                    f"{when})")
+            elif spec.kind == "preempt":
+                os.kill(os.getpid(), signal.SIGTERM)
+            else:   # kill
+                os.kill(os.getpid(), signal.SIGKILL)

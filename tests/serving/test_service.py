@@ -136,6 +136,51 @@ class TestWarmupPack:
         with pytest.raises(ValueError, match="different architecture"):
             pack.attach(other)
 
+    def test_manifest_write_is_atomic(self, ragged_cities, tmp_path,
+                                      monkeypatch):
+        """PR 9 satellite: a crash between the manifest's temp write and
+        its atomic rename must leave *no* manifest — ``exists()`` (the
+        fleet's pre-flight) must never see a partial pack as valid."""
+        import os
+        service = EmbeddingService.build(
+            ragged_cities, HAFusionConfig(**TINY), seed=11,
+            plan_cache=PlanCache(directory=tmp_path))
+        real_replace = os.replace
+
+        def crashing_replace(src, dst, *args, **kwargs):
+            if str(dst).endswith("warmup_pack.json"):
+                raise OSError("injected crash mid-manifest-write")
+            return real_replace(src, dst, *args, **kwargs)
+
+        monkeypatch.setattr(os, "replace", crashing_replace)
+        with pytest.raises(OSError, match="injected"):
+            WarmupPack.build(service, shape_grid=[(1, 10)])
+        assert not WarmupPack.exists(tmp_path)
+        with pytest.raises(FileNotFoundError):
+            WarmupPack.load(tmp_path)
+
+    def test_crashed_rebuild_preserves_existing_manifest(self, ragged_cities,
+                                                         tmp_path,
+                                                         monkeypatch):
+        import os
+        service = EmbeddingService.build(
+            ragged_cities, HAFusionConfig(**TINY), seed=11,
+            plan_cache=PlanCache(directory=tmp_path))
+        original = WarmupPack.build(service, shape_grid=[(1, 10)])
+        real_replace = os.replace
+
+        def crashing_replace(src, dst, *args, **kwargs):
+            if str(dst).endswith("warmup_pack.json"):
+                raise OSError("injected crash mid-manifest-write")
+            return real_replace(src, dst, *args, **kwargs)
+
+        monkeypatch.setattr(os, "replace", crashing_replace)
+        with pytest.raises(OSError, match="injected"):
+            WarmupPack.build(service, shape_grid=[(1, 10), (1, 7)])
+        # The previous manifest survives the crashed rebuild intact.
+        assert WarmupPack.exists(tmp_path)
+        assert WarmupPack.load(tmp_path).manifest == original.manifest
+
     def test_pack_requires_a_directory(self, ragged_cities):
         service = EmbeddingService.build(ragged_cities,
                                          HAFusionConfig(**TINY), seed=11)
